@@ -1,0 +1,211 @@
+// Command dinersim runs one dining-philosophers simulation and prints a run
+// report: eating sessions, exclusion violations, starvation, fairness and
+// message counts.
+//
+// Usage:
+//
+//	dinersim -topology ring -n 5 -table forks -crash 2@6000 -horizon 40000
+//
+// Tables: forks (WF-◇WX, heartbeat-◇P driven), token (WF-◇WX, circulating
+// token), fair (eventually 2-fair), mutex (wait-free ℙWX with the
+// model-true T+S stand-in), perfect (centralized ℙWX), trap (adversarial
+// WF-◇WX with a mistake era).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/dining/forks"
+	"repro/internal/dining/perfect"
+	"repro/internal/dining/token"
+	"repro/internal/dining/trap"
+	"repro/internal/fairness"
+	"repro/internal/graph"
+	"repro/internal/mutex"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "ring", "ring|clique|path|star|grid|pair|random")
+		n        = flag.Int("n", 5, "number of diners")
+		table    = flag.String("table", "forks", "forks|token|fair|mutex|perfect|trap")
+		seed     = flag.Int64("seed", 1, "random seed")
+		horizon  = flag.Int64("horizon", 40000, "virtual-time horizon")
+		gst      = flag.Int64("gst", 800, "global stabilization time of the delay policy")
+		crashes  = flag.String("crash", "", "comma list of proc@time, e.g. 2@6000,0@9000")
+		era      = flag.Int64("era", 3000, "mistake era for the trap table")
+		csvTrace = flag.String("csvtrace", "", "write the full run trace as CSV to this file")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*topology, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinersim:", err)
+		os.Exit(2)
+	}
+
+	// Centralized tables need an extra coordinator process.
+	extra := 0
+	if *table == "perfect" || *table == "trap" {
+		extra = 1
+	}
+	log := &trace.Log{}
+	k := sim.NewKernel(g.N()+extra,
+		sim.WithSeed(*seed),
+		sim.WithTracer(log),
+		sim.WithDelay(sim.GSTDelay{GST: sim.Time(*gst), PreMax: 120, PostMax: 8}),
+	)
+
+	var tbl dining.Table
+	switch *table {
+	case "forks":
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		tbl = forks.New(k, g, "dine", oracle, forks.Config{})
+	case "token":
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		tbl = token.New(k, g, "dine", oracle, token.Config{})
+	case "fair":
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		tbl = fairness.New(k, g, "dine", oracle, fairness.Config{})
+	case "mutex":
+		// Model-true stand-in for the T+S composition the FTME needs (see
+		// the mutex package comment).
+		tbl = mutex.New(k, g, "dine", detector.Perfect{K: k})
+	case "perfect":
+		tbl = perfect.New(k, g, "dine", sim.ProcID(g.N()))
+	case "trap":
+		tbl = trap.New(k, g, "dine", sim.ProcID(g.N()), sim.Time(*era))
+	default:
+		fmt.Fprintf(os.Stderr, "dinersim: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	for _, p := range g.Nodes() {
+		dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+			ThinkMin: 10, ThinkMax: 120, EatMin: 5, EatMax: 40,
+		})
+	}
+	for _, spec := range strings.Split(*crashes, ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		parts := strings.SplitN(spec, "@", 2)
+		p, err1 := strconv.Atoi(parts[0])
+		at, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if len(parts) != 2 || err1 != nil || err2 != nil || !g.Has(sim.ProcID(p)) {
+			fmt.Fprintf(os.Stderr, "dinersim: bad crash spec %q\n", spec)
+			os.Exit(2)
+		}
+		k.CrashAt(sim.ProcID(p), sim.Time(at))
+	}
+
+	end := k.Run(sim.Time(*horizon))
+
+	fmt.Printf("run: table=%s %v seed=%d end=%d\n\n", *table, g, *seed, end)
+	eat := log.Sessions("eating")
+	fmt.Println("diner  meals  crashed")
+	for _, p := range g.Nodes() {
+		meals := len(eat[trace.SessionKey{Inst: "dine", P: p}])
+		crashed := "-"
+		if k.Crashed(p) {
+			crashed = fmt.Sprintf("t=%d", k.CrashTime(p))
+		}
+		fmt.Printf("%5d  %5d  %s\n", p, meals, crashed)
+	}
+
+	rep := checker.Exclusion(log, g, "dine", end)
+	fmt.Printf("\nexclusion violations: %d", len(rep.Violations))
+	if rep.LastViolation != sim.Never {
+		fmt.Printf(" (last ends t=%d)", rep.LastViolation)
+	}
+	fmt.Println()
+	if starved := checker.WaitFreedom(log, "dine", end-3000, end); len(starved) > 0 {
+		fmt.Println("STARVATION:")
+		for _, s := range starved {
+			fmt.Println("  ", s)
+		}
+	} else {
+		fmt.Println("wait-freedom: ok (no starvation)")
+	}
+	if over := checker.KFairness(log, g, "dine", 2, end/2, end); len(over) > 0 {
+		fmt.Printf("suffix overtakes beyond 2: %d (first: %v)\n", len(over), over[0])
+	} else {
+		fmt.Println("suffix 2-fairness: ok")
+	}
+	if resp := checker.ResponseTimes(log, "dine", end/2); resp.Served > 0 {
+		fmt.Printf("suffix wait (hungry->eating): min=%d mean=%.1f p99=%d max=%d over %d meals\n",
+			resp.Min, resp.Mean, resp.P99, resp.Max, resp.Served)
+	}
+	if len(log.CrashTimes()) > 0 {
+		loc := checker.FailureLocality(log, g, "dine", end-3000, end)
+		if loc.Locality < 0 {
+			fmt.Println("failure locality: none (no correct diner starves)")
+		} else {
+			fmt.Printf("failure locality: %d (starved at distances %v)\n", loc.Locality, loc.Starved)
+		}
+	}
+	fmt.Printf("\nmessages sent=%d delivered=%d dropped=%d steps=%d\n",
+		k.Counter("msg.sent"), k.Counter("msg.delivered"), k.Counter("msg.dropped"), k.Counter("steps"))
+
+	// Eating timeline of the final stretch.
+	var rows []trace.TimelineRow
+	for _, p := range g.Nodes() {
+		rows = append(rows, trace.TimelineRow{
+			Label:     fmt.Sprintf("diner %d", p),
+			Intervals: eat[trace.SessionKey{Inst: "dine", P: p}],
+		})
+	}
+	span := sim.Time(2000)
+	if end < span {
+		span = end
+	}
+	fmt.Printf("\neating sessions, final %d ticks:\n%s", span, trace.Timeline(rows, end-span, end, 64))
+
+	if *csvTrace != "" {
+		f, err := os.Create(*csvTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dinersim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := log.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dinersim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d records)\n", *csvTrace, log.Len())
+	}
+}
+
+func buildGraph(topology string, n int, seed int64) (*graph.Graph, error) {
+	switch topology {
+	case "ring":
+		return graph.Ring(n), nil
+	case "clique":
+		return graph.Clique(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "pair":
+		return graph.Pair(0, 1), nil
+	case "grid":
+		r := 2
+		for r*r < n {
+			r++
+		}
+		return graph.Grid(r, (n+r-1)/r), nil
+	case "random":
+		k := sim.NewKernel(1, sim.WithSeed(seed))
+		return graph.Random(n, 0.4, k.Rand()), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", topology)
+}

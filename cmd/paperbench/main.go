@@ -1,0 +1,102 @@
+// Command paperbench regenerates every experiment in EXPERIMENTS.md: the
+// Figure 1 timeline and the measured counterparts of the paper's theorems,
+// lemmas, counterexample, and discussion-section claims.
+//
+// Usage:
+//
+//	paperbench [-run E1,E3] [-seed N] [-quick]
+//
+// Exit status 1 if any experiment observed a property violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	quick := flag.Bool("quick", false, "smaller seed sets and sizes")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	seeds := []int64{*seed, *seed + 1, *seed + 2}
+	sizes := []int{2, 3, 4}
+	horizons := []sim.Time{10000, 20000, 40000}
+	gsts := []sim.Time{400, 1500, 4000}
+	if *quick {
+		seeds = seeds[:1]
+		sizes = []int{2, 3}
+		horizons = horizons[:2]
+		gsts = gsts[:2]
+	}
+
+	all := []struct {
+		id string
+		fn func() *experiment.Table
+	}{
+		{"E1", func() *experiment.Table { return experiment.E1Figure1(*seed) }},
+		{"E2", func() *experiment.Table { return experiment.E2Completeness(seeds, sizes) }},
+		{"E3", func() *experiment.Table { return experiment.E3Accuracy(seeds, gsts) }},
+		{"E4", func() *experiment.Table { return experiment.E4Invariants(seeds) }},
+		{"E5", func() *experiment.Table { return experiment.E5Progress(seeds) }},
+		{"E6", func() *experiment.Table { return experiment.E6Flawed(*seed, horizons) }},
+		{"E7", func() *experiment.Table { return experiment.E7Fairness(seeds) }},
+		{"E8", func() *experiment.Table { return experiment.E8Trusting(seeds[:min(2, len(seeds))]) }},
+		{"E9", func() *experiment.Table { return experiment.E9Sufficiency(seeds[:min(2, len(seeds))]) }},
+		{"E10", func() *experiment.Table { return experiment.E10Applications(*seed) }},
+		{"E11", func() *experiment.Table { return experiment.E11Scaling(*seed, sizes) }},
+		{"E12", func() *experiment.Table { return experiment.E12Downstream(seeds[:min(2, len(seeds))]) }},
+		{"E13", func() *experiment.Table { return experiment.E13Ablations(*seed) }},
+		{"E14", func() *experiment.Table { return experiment.E14Locality(*seed) }},
+		{"E15", func() *experiment.Table { return experiment.E15RoundTrip(seeds[:min(2, len(seeds))]) }},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	failed := false
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tbl := e.fn()
+		fmt.Println(tbl.Render())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				failed = true
+			}
+		}
+		if !tbl.Ok() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "paperbench: at least one experiment failed")
+		os.Exit(1)
+	}
+}
+
+func writeCSV(dir string, tbl *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, strings.ToLower(tbl.ID)+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}

@@ -1,0 +1,10 @@
+// Package repro is an executable reproduction of "The Weakest Failure
+// Detector for Wait-Free Dining under Eventual Weak Exclusion" (Sastry,
+// Pike, Welch; SPAA 2009, corrigendum SPAA 2010): the eventually perfect
+// failure detector ◇P is the weakest oracle solving wait-free dining
+// philosophers under eventual weak exclusion.
+//
+// The root package holds only the experiment benchmarks (bench_test.go);
+// the system lives under internal/ (see README.md and DESIGN.md), with
+// runnable entry points in cmd/ and examples/.
+package repro

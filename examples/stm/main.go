@@ -1,0 +1,59 @@
+// STM contention management (Sections 2–3 of the paper): an obstruction-
+// free software transactional memory guarantees progress only to
+// transactions that run in isolation. Under contention, a long transaction
+// can abort forever while short rivals commit — obstruction freedom is not
+// wait freedom. A wait-free ◇WX dining service used as a contention manager
+// fixes this: clients ask the manager before attempting a transaction, and
+// once the manager stops making scheduling mistakes every permitted attempt
+// runs isolated and commits.
+//
+//	go run ./examples/stm
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stm"
+)
+
+func main() {
+	fmt.Println("scenario: one long transaction (40 ticks) vs two fast rivals (9 ticks), same object")
+	fmt.Println()
+
+	// --- Round 1: raw obstruction freedom. ---
+	{
+		k := sim.NewKernel(3, sim.WithSeed(11))
+		store := stm.NewStore()
+		victim := stm.NewClient(k, store, 0, stm.Config{Objs: []string{"acct"}, Length: 40})
+		r1 := stm.NewClient(k, store, 1, stm.Config{Objs: []string{"acct"}, Length: 9})
+		r2 := stm.NewClient(k, store, 2, stm.Config{Objs: []string{"acct"}, Length: 9})
+		k.Run(30000)
+		fmt.Println("without contention manager:")
+		fmt.Println("  " + stm.Summary([]*stm.Client{victim, r1, r2}))
+		fmt.Printf("  the long transaction starved: %d commits after %d attempts\n\n",
+			victim.Stats().Commits, victim.Stats().Aborts+victim.Stats().Commits)
+	}
+
+	// --- Round 2: the same workload behind a dining-backed manager. ---
+	{
+		k := sim.NewKernel(3, sim.WithSeed(11),
+			sim.WithDelay(sim.GSTDelay{GST: 500, PreMax: 60, PostMax: 6}))
+		store := stm.NewStore()
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		manager := forks.New(k, graph.Clique(3), "cm", oracle, forks.Config{})
+		victim := stm.NewManagedClient(k, store, 0, manager.Diner(0), stm.Config{Objs: []string{"acct"}, Length: 40, Target: 10})
+		r1 := stm.NewManagedClient(k, store, 1, manager.Diner(1), stm.Config{Objs: []string{"acct"}, Length: 9, Target: 40})
+		r2 := stm.NewManagedClient(k, store, 2, manager.Diner(2), stm.Config{Objs: []string{"acct"}, Length: 9, Target: 40})
+		k.Run(150000)
+		fmt.Println("with wait-free ◇WX contention manager:")
+		fmt.Println("  " + stm.Summary([]*stm.Client{victim, r1, r2}))
+		st := victim.Stats()
+		fmt.Printf("  the long transaction now commits (%d/%d), last at t=%d\n",
+			st.Commits, 10, st.LastDone)
+		fmt.Println("  manager mistakes only show up as (retried) aborts — recoverable, as Section 2 argues")
+	}
+}

@@ -1,0 +1,76 @@
+// WSN duty-cycle scheduling (Section 2 of the paper): a surveillance field
+// is covered by redundant teams of battery-powered sensors. A wait-free
+// ◇WX dining service on the conflict graph schedules which teammate is on
+// duty. Scheduling mistakes burn battery on redundant coverage but never
+// break surveillance; once the scheduler converges, exactly one teammate
+// per zone is on duty, and when a sensor's battery dies (a crash in the
+// model) wait-freedom hands its zone to a teammate.
+//
+//	go run ./examples/wsn
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wsn"
+)
+
+func main() {
+	// 4 zones x 3 sensors per zone x 5 cells per zone.
+	field := wsn.NewTeamField(4, 3, 5)
+	g := field.ConflictGraph()
+	fmt.Printf("deployment: %d sensors, %d cells, conflict %v\n\n", len(field.Coverage), field.Cells, g)
+
+	log := &trace.Log{}
+	k := sim.NewKernel(g.N(),
+		sim.WithSeed(7),
+		sim.WithTracer(log),
+		sim.WithDelay(sim.GSTDelay{GST: 500, PreMax: 60, PostMax: 6}),
+	)
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	table := forks.New(k, g, "duty", oracle, forks.Config{})
+
+	sensors := make(map[sim.ProcID]*wsn.Sensor)
+	for _, p := range g.Nodes() {
+		// Uneven batteries: the first teammate of each zone dies early, so
+		// hand-offs are visible.
+		battery := sim.Time(30000)
+		if int(p)%3 == 0 {
+			battery = 2500
+		}
+		sensors[p] = wsn.NewSensor(k, field, g, p, table.Diner(p), oracle, "wsn", wsn.SensorConfig{
+			Battery: battery, Shift: 150, Sample: 30,
+		})
+	}
+
+	const horizon = 25000
+	end := k.Run(horizon)
+
+	rep := wsn.Analyze(log.Records, field, "duty", end)
+	fmt.Printf("duty ticks:               %d\n", rep.DutyTicks)
+	fmt.Printf("redundant duty ticks:     %d (%.1f%% of duty)\n",
+		rep.RedundantTicks, 100*float64(rep.RedundantTicks)/float64(max64(1, rep.DutyTicks)))
+	fmt.Printf("coverage loss cell-ticks: %d (%.1f%% of field-time)\n",
+		rep.CoverageLoss, 100*float64(rep.CoverageLoss)/float64(int64(field.Cells)*int64(end)))
+	fmt.Printf("field lifespan:           t=%d (horizon %d)\n\n", rep.Lifespan, end)
+
+	fmt.Println("sensor  zone  battery-left  crashed")
+	for _, p := range g.Nodes() {
+		crashed := "-"
+		if k.Crashed(p) {
+			crashed = fmt.Sprintf("t=%d (depleted)", k.CrashTime(p))
+		}
+		fmt.Printf("%6d  %4d  %12d  %s\n", p, int(p)/3, sensors[p].Battery(), crashed)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestPlantedOverlapsAreFound is a property test of the exclusion checker
+// itself: build a random non-overlapping eating schedule per edge, then
+// plant a known number of overlapping session pairs; the checker must
+// report exactly the planted count.
+func TestPlantedOverlapsAreFound(t *testing.T) {
+	prop := func(seed int64, plantRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		planted := int(plantRaw % 4)
+		g := graph.Pair(0, 1)
+		l := &trace.Log{}
+		cursor := sim.Time(10)
+		// Clean prefix: alternating, disjoint sessions.
+		for i := 0; i < 5; i++ {
+			for _, p := range []sim.ProcID{0, 1} {
+				dur := sim.Time(5 + rng.Intn(20))
+				l.Trace(sim.Record{T: cursor, P: p, Kind: trace.KindState, Inst: "t", Note: "eating", Peer: -1})
+				l.Trace(sim.Record{T: cursor + dur, P: p, Kind: trace.KindState, Inst: "t", Note: "exiting", Peer: -1})
+				cursor += dur + sim.Time(1+rng.Intn(10))
+			}
+		}
+		// Planted overlaps: both eat in the same window.
+		for i := 0; i < planted; i++ {
+			l.Trace(sim.Record{T: cursor, P: 0, Kind: trace.KindState, Inst: "t", Note: "eating", Peer: -1})
+			l.Trace(sim.Record{T: cursor + 2, P: 1, Kind: trace.KindState, Inst: "t", Note: "eating", Peer: -1})
+			l.Trace(sim.Record{T: cursor + 10, P: 0, Kind: trace.KindState, Inst: "t", Note: "exiting", Peer: -1})
+			l.Trace(sim.Record{T: cursor + 12, P: 1, Kind: trace.KindState, Inst: "t", Note: "exiting", Peer: -1})
+			cursor += 20 + sim.Time(rng.Intn(10))
+		}
+		rep := Exclusion(l, g, "t", cursor+100)
+		return len(rep.Violations) == planted
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlantedStarvationIsFound: random served hunger plus a known set of
+// starved diners; WaitFreedom reports exactly the starved ones.
+func TestPlantedStarvationIsFound(t *testing.T) {
+	prop := func(seed int64, starveMask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := &trace.Log{}
+		wantStarved := map[sim.ProcID]bool{}
+		for p := sim.ProcID(0); p < 5; p++ {
+			at := sim.Time(10 + rng.Intn(50))
+			l.Trace(sim.Record{T: at, P: p, Kind: trace.KindState, Inst: "t", Note: "hungry", Peer: -1})
+			if starveMask&(1<<p) != 0 {
+				wantStarved[p] = true
+				continue // never served
+			}
+			l.Trace(sim.Record{T: at + sim.Time(5+rng.Intn(20)), P: p, Kind: trace.KindState, Inst: "t", Note: "eating", Peer: -1})
+		}
+		got := WaitFreedom(l, "t", 500, 1000)
+		if len(got) != len(wantStarved) {
+			return false
+		}
+		for _, s := range got {
+			if !wantStarved[s.P] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlantedOvertakingIsFound: the k-fairness checker counts exactly the
+// sessions planted inside the victim's hunger.
+func TestPlantedOvertakingIsFound(t *testing.T) {
+	prop := func(mealsRaw, kRaw uint8) bool {
+		meals := int(mealsRaw%6) + 1 // 1..6 eater meals during the hunger
+		k := int(kRaw%4) + 1         // bound 1..4
+		g := graph.Pair(0, 1)
+		l := &trace.Log{}
+		l.Trace(sim.Record{T: 10, P: 1, Kind: trace.KindState, Inst: "t", Note: "hungry", Peer: -1})
+		cur := sim.Time(20)
+		for i := 0; i < meals; i++ {
+			l.Trace(sim.Record{T: cur, P: 0, Kind: trace.KindState, Inst: "t", Note: "eating", Peer: -1})
+			l.Trace(sim.Record{T: cur + 5, P: 0, Kind: trace.KindState, Inst: "t", Note: "exiting", Peer: -1})
+			cur += 10
+		}
+		over := KFairness(l, g, "t", k, 0, 1000)
+		want := meals - k
+		if want < 0 {
+			want = 0
+		}
+		// One Overtake record per meal beyond the bound.
+		return len(over) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlantedSuspicionFlapsAreCounted: MistakeCount equals the planted
+// number of suspect transitions.
+func TestPlantedSuspicionFlapsAreCounted(t *testing.T) {
+	prop := func(flapsRaw uint8) bool {
+		flaps := int(flapsRaw % 20)
+		l := &trace.Log{}
+		at := sim.Time(1)
+		for i := 0; i < flaps; i++ {
+			l.Trace(sim.Record{T: at, P: 0, Kind: trace.KindSuspect, Inst: "o", Peer: 1})
+			l.Trace(sim.Record{T: at + 3, P: 0, Kind: trace.KindTrust, Inst: "o", Peer: 1})
+			at += 10
+		}
+		return MistakeCount(l, "o", 0, 1, false) == flaps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// QoS quantifies a failure detector's quality of service in the style of
+// Chen, Toueg and Aguilera: how fast it detects real crashes, how often it
+// is wrong about live processes, and how long its mistakes last. All values
+// are computed from the trace of one run.
+type QoS struct {
+	Inst string
+	// DetectionTime is the worst time from a crash to the *final* (stable)
+	// suspicion across correct monitors (Never if nothing crashed).
+	DetectionTime sim.Time
+	// MistakeCount is the number of false suspicions of live targets by
+	// correct monitors (the initial mandated suspicion included when
+	// initialSuspect is set).
+	MistakeCount int
+	// MistakeDurationTotal sums the lengths of all false-suspicion
+	// intervals (an initial suspicion counts from time 0).
+	MistakeDurationTotal sim.Time
+	// MistakeDurationMax is the longest single false-suspicion interval.
+	MistakeDurationMax sim.Time
+	// QueryAccurate reports, over the sampled grid, the fraction of
+	// (instant, pair) samples at which the output was correct (suspect iff
+	// crashed).
+	QueryAccurate float64
+}
+
+func (q QoS) String() string {
+	det := "n/a"
+	if q.DetectionTime != sim.Never {
+		det = fmt.Sprintf("%d", q.DetectionTime)
+	}
+	return fmt.Sprintf("%s: detect=%s mistakes=%d dur(total=%d max=%d) accuracy=%.4f",
+		q.Inst, det, q.MistakeCount, q.MistakeDurationTotal, q.MistakeDurationMax, q.QueryAccurate)
+}
+
+// MeasureQoS computes QoS for one oracle instance over the given ordered
+// pairs. initialSuspect is the module output before its first recorded
+// change; horizon closes still-open intervals.
+func MeasureQoS(l *trace.Log, inst string, pairs [][2]sim.ProcID, initialSuspect bool, horizon sim.Time) QoS {
+	q := QoS{Inst: inst, DetectionTime: sim.Never}
+	crash := l.CrashTimes()
+	sus := l.Suspicions()
+
+	samples, correctSamples := 0, 0
+	for _, pq := range pairs {
+		p, t := pq[0], pq[1]
+		if _, monitorCrashed := crash[p]; monitorCrashed {
+			continue
+		}
+		changes := sus[trace.SuspicionKey{Inst: inst, P: p, Peer: t}]
+		targetCrash, targetCrashed := crash[t]
+
+		// Walk the output intervals.
+		cur := initialSuspect
+		curStart := sim.Time(0)
+		flush := func(end sim.Time) {
+			// Interval [curStart, end) with output cur.
+			if cur {
+				// False-suspicion portion: while the target was live.
+				liveEnd := end
+				if targetCrashed && targetCrash < liveEnd {
+					liveEnd = targetCrash
+				}
+				if liveEnd > curStart {
+					d := liveEnd - curStart
+					q.MistakeCount++
+					q.MistakeDurationTotal += d
+					if d > q.MistakeDurationMax {
+						q.MistakeDurationMax = d
+					}
+				}
+			}
+		}
+		for _, c := range changes {
+			flush(c.T)
+			cur = c.Suspect
+			curStart = c.T
+		}
+		flush(horizon)
+
+		// Stable detection time: the last transition to suspicion, if the
+		// final output is suspect and the target crashed.
+		if targetCrashed && cur {
+			when := sim.Time(0)
+			for _, c := range changes {
+				if c.Suspect {
+					when = c.T
+				}
+			}
+			lat := when - targetCrash
+			if lat < 0 {
+				lat = 0
+			}
+			if q.DetectionTime == sim.Never || lat > q.DetectionTime {
+				q.DetectionTime = lat
+			}
+		}
+
+		// Query accuracy over a sampling grid.
+		const grid = 64
+		step := horizon / grid
+		if step < 1 {
+			step = 1
+		}
+		out := initialSuspect
+		ci := 0
+		for at := sim.Time(0); at < horizon; at += step {
+			for ci < len(changes) && changes[ci].T <= at {
+				out = changes[ci].Suspect
+				ci++
+			}
+			truth := targetCrashed && at >= targetCrash
+			samples++
+			if out == truth {
+				correctSamples++
+			}
+		}
+	}
+	if samples > 0 {
+		q.QueryAccurate = float64(correctSamples) / float64(samples)
+	}
+	return q
+}

@@ -1,0 +1,213 @@
+package consensus_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func procs(n int) []sim.ProcID {
+	out := make([]sim.ProcID, n)
+	for i := range out {
+		out[i] = sim.ProcID(i)
+	}
+	return out
+}
+
+// checkRun validates agreement, validity and (for correct processes)
+// termination on a finished run.
+func checkRun(t *testing.T, k *sim.Kernel, in *consensus.Instance, ps []sim.ProcID, proposals map[sim.ProcID]consensus.Value) {
+	t.Helper()
+	valid := make(map[consensus.Value]bool)
+	for _, v := range proposals {
+		valid[v] = true
+	}
+	var decided *consensus.Value
+	for _, p := range ps {
+		v, ok := in.Decided(p)
+		if k.Crashed(p) {
+			continue // crashed processes owe nothing (but must not disagree if they did decide)
+		}
+		if !ok {
+			t.Fatalf("correct process %d never decided", p)
+		}
+		if !valid[v] {
+			t.Fatalf("process %d decided %d, which nobody proposed", p, v)
+		}
+		if decided == nil {
+			decided = &v
+		} else if *decided != v {
+			t.Fatalf("disagreement: %d vs %d", *decided, v)
+		}
+	}
+	if decided == nil {
+		t.Fatal("nobody decided")
+	}
+}
+
+// TestCrashFreeAgreement: distinct proposals, no crashes, several system
+// sizes and seeds.
+func TestCrashFreeAgreement(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("n%d/seed%d", n, seed), func(t *testing.T) {
+				k := sim.NewKernel(n, sim.WithSeed(seed),
+					sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}))
+				oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+				in := consensus.New(k, procs(n), "cs", oracle)
+				proposals := make(map[sim.ProcID]consensus.Value)
+				for _, p := range procs(n) {
+					proposals[p] = consensus.Value(100 + int64(p))
+					in.Propose(p, proposals[p])
+				}
+				k.Run(60000)
+				checkRun(t, k, in, procs(n), proposals)
+			})
+		}
+	}
+}
+
+// TestMinorityCrashes: up to ⌈n/2⌉-1 crashes, including the coordinator of
+// round 1 and crashes mid-protocol.
+func TestMinorityCrashes(t *testing.T) {
+	cases := []struct {
+		n       int
+		crashes map[sim.ProcID]sim.Time
+	}{
+		{3, map[sim.ProcID]sim.Time{1: 50}},   // round-1 coordinator dies immediately
+		{3, map[sim.ProcID]sim.Time{0: 3000}}, // a participant dies mid-run
+		{5, map[sim.ProcID]sim.Time{1: 50, 2: 4000}},
+		{5, map[sim.ProcID]sim.Time{0: 100, 4: 100}},
+	}
+	for ci, c := range cases {
+		for _, seed := range []int64{4, 5} {
+			t.Run(fmt.Sprintf("case%d/seed%d", ci, seed), func(t *testing.T) {
+				k := sim.NewKernel(c.n, sim.WithSeed(seed),
+					sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}))
+				oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+				in := consensus.New(k, procs(c.n), "cs", oracle)
+				proposals := make(map[sim.ProcID]consensus.Value)
+				for _, p := range procs(c.n) {
+					proposals[p] = consensus.Value(200 + int64(p))
+					in.Propose(p, proposals[p])
+				}
+				for p, at := range c.crashes {
+					k.CrashAt(p, at)
+				}
+				k.Run(80000)
+				checkRun(t, k, in, procs(c.n), proposals)
+			})
+		}
+	}
+}
+
+// TestUnanimousProposal: if everyone proposes v, the decision is v
+// (validity pinned down).
+func TestUnanimousProposal(t *testing.T) {
+	k := sim.NewKernel(3, sim.WithSeed(6),
+		sim.WithDelay(sim.UniformDelay{Min: 1, Max: 10}))
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	in := consensus.New(k, procs(3), "cs", oracle)
+	for _, p := range procs(3) {
+		in.Propose(p, 7)
+	}
+	k.Run(40000)
+	for _, p := range procs(3) {
+		if v, ok := in.Decided(p); !ok || v != 7 {
+			t.Fatalf("process %d: decided=%v v=%d, want 7", p, ok, v)
+		}
+	}
+}
+
+// TestLatePropose: a process that proposes late still decides, and does not
+// break agreement.
+func TestLatePropose(t *testing.T) {
+	k := sim.NewKernel(3, sim.WithSeed(7),
+		sim.WithDelay(sim.UniformDelay{Min: 1, Max: 10}))
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	in := consensus.New(k, procs(3), "cs", oracle)
+	in.Propose(0, 10)
+	in.Propose(1, 11)
+	k.After(2, 5000, func() { in.Propose(2, 12) })
+	k.Run(60000)
+	checkRun(t, k, in, procs(3), map[sim.ProcID]consensus.Value{0: 10, 1: 11, 2: 12})
+}
+
+// TestOnDecideFiresOnce: the callback runs exactly once per process.
+func TestOnDecideFiresOnce(t *testing.T) {
+	k := sim.NewKernel(3, sim.WithSeed(8),
+		sim.WithDelay(sim.UniformDelay{Min: 1, Max: 10}))
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	in := consensus.New(k, procs(3), "cs", oracle)
+	fired := make(map[sim.ProcID]int)
+	for _, p := range procs(3) {
+		p := p
+		in.OnDecide(p, func(consensus.Value) { fired[p]++ })
+		in.Propose(p, consensus.Value(p))
+	}
+	k.Run(40000)
+	for _, p := range procs(3) {
+		if fired[p] != 1 {
+			t.Fatalf("process %d: OnDecide fired %d times", p, fired[p])
+		}
+	}
+}
+
+// TestConsensusOverExtractedOracle is the full stack: dining black box ->
+// reduction -> extracted ◇P -> consensus. The paper's chain "WF-◇WX is as
+// strong as ◇P, and ◇P solves consensus" becomes executable.
+func TestConsensusOverExtractedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack test is long")
+	}
+	for _, seed := range []int64{1, 2} {
+		log := &trace.Log{}
+		k := sim.NewKernel(3, sim.WithSeed(seed), sim.WithTracer(log),
+			sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}))
+		native := detector.NewHeartbeat(k, "native", detector.HeartbeatConfig{})
+		blackbox := forks.Factory(native, forks.Config{})
+		extracted := core.NewExtractor(k, procs(3), blackbox, "xp")
+		in := consensus.New(k, procs(3), "cs", extracted)
+		proposals := make(map[sim.ProcID]consensus.Value)
+		for _, p := range procs(3) {
+			proposals[p] = consensus.Value(300 + int64(p))
+			in.Propose(p, proposals[p])
+		}
+		k.CrashAt(2, 8000)
+		k.Run(100000)
+		checkRun(t, k, in, procs(3), proposals)
+	}
+}
+
+// TestAgreementSweep: randomized sweep over sizes, delays, proposals and a
+// random minority crash; agreement and validity hold in every run.
+func TestAgreementSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is long")
+	}
+	for seed := int64(10); seed < 22; seed++ {
+		host := sim.NewKernel(1, sim.WithSeed(seed))
+		n := 3 + host.Rand().Intn(3) // 3..5
+		k := sim.NewKernel(n, sim.WithSeed(seed),
+			sim.WithDelay(sim.GSTDelay{GST: sim.Time(200 + host.Rand().Intn(1500)), PreMax: 150, PostMax: 8}))
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		in := consensus.New(k, procs(n), "cs", oracle)
+		proposals := make(map[sim.ProcID]consensus.Value)
+		for _, p := range procs(n) {
+			proposals[p] = consensus.Value(host.Rand().Int63n(5))
+			in.Propose(p, proposals[p])
+		}
+		crashable := (n - 1) / 2
+		for i := 0; i < crashable && host.Rand().Intn(2) == 0; i++ {
+			k.CrashAt(sim.ProcID(host.Rand().Intn(n)), sim.Time(100+host.Rand().Intn(8000)))
+		}
+		k.Run(100000)
+		checkRun(t, k, in, procs(n), proposals)
+	}
+}

@@ -1,0 +1,36 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/detector"
+	"repro/internal/sim"
+)
+
+// Example runs one consensus instance: three processes propose distinct
+// values, one crashes, the survivors agree on a proposed value.
+func Example() {
+	k := sim.NewKernel(3,
+		sim.WithSeed(6),
+		sim.WithDelay(sim.UniformDelay{Min: 1, Max: 10}),
+	)
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	procs := []sim.ProcID{0, 1, 2}
+	in := consensus.New(k, procs, "agree", oracle)
+	for _, p := range procs {
+		in.Propose(p, consensus.Value(100+int64(p)))
+	}
+	k.CrashAt(2, 4000)
+	k.Run(60000)
+
+	v0, ok0 := in.Decided(0)
+	v1, ok1 := in.Decided(1)
+	fmt.Printf("survivors decided: %v %v\n", ok0, ok1)
+	fmt.Printf("agreement: %v\n", v0 == v1)
+	fmt.Printf("validity (decided a proposed value): %v\n", v0 >= 100 && v0 <= 102)
+	// Output:
+	// survivors decided: true true
+	// agreement: true
+	// validity (decided a proposed value): true
+}

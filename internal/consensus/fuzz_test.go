@@ -1,0 +1,53 @@
+package consensus_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/detector"
+	"repro/internal/sim"
+)
+
+// FuzzConsensusSchedules: agreement and validity must hold under arbitrary
+// message schedules and a minority crash; termination is additionally
+// asserted because the perfect oracle removes all detector uncertainty
+// (rounds with a live coordinator are never nacked spuriously). Seed corpus
+// runs under plain `go test`.
+func FuzzConsensusSchedules(f *testing.F) {
+	f.Add([]byte{5, 4, 3, 2, 1}, int64(-1))
+	f.Add([]byte{200, 200, 1, 1}, int64(77))
+	f.Add([]byte{9, 90, 9, 90, 9, 90}, int64(2500))
+	f.Fuzz(func(t *testing.T, pattern []byte, crashAt int64) {
+		if len(pattern) > 4096 {
+			t.Skip()
+		}
+		k := sim.NewKernel(3, sim.WithSeed(1),
+			sim.WithDelay(&sim.BytesDelay{Pattern: pattern, Max: 48}))
+		in := consensus.New(k, procs(3), "cs", detector.Perfect{K: k})
+		for _, p := range procs(3) {
+			in.Propose(p, consensus.Value(100+int64(p)))
+		}
+		if crashAt > 0 {
+			k.CrashAt(sim.ProcID(crashAt%3), sim.Time(crashAt%4000)+1)
+		}
+		k.Run(60000)
+		var dec *consensus.Value
+		for _, p := range procs(3) {
+			if k.Crashed(p) {
+				continue
+			}
+			v, ok := in.Decided(p)
+			if !ok {
+				t.Fatalf("correct %d undecided under schedule %v", p, pattern)
+			}
+			if v < 100 || v > 102 {
+				t.Fatalf("invalid decision %d", v)
+			}
+			if dec == nil {
+				dec = &v
+			} else if *dec != v {
+				t.Fatalf("disagreement %d vs %d under schedule %v", *dec, v, pattern)
+			}
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/dining/forks"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// rig is a small harness: a kernel with n processes, a trace log, a GST
+// delay policy, and a native heartbeat ◇P powering the fork-algorithm black box.
+type rig struct {
+	k       *sim.Kernel
+	log     *trace.Log
+	native  *detector.Heartbeat
+	factory dining.Factory
+	gst     sim.Time
+}
+
+func newRig(t testing.TB, n int, seed int64, gst sim.Time) *rig {
+	t.Helper()
+	log := &trace.Log{}
+	k := sim.NewKernel(n,
+		sim.WithSeed(seed),
+		sim.WithTracer(log),
+		sim.WithDelay(sim.GSTDelay{GST: gst, PreMax: 120, PostMax: 8}),
+	)
+	native := detector.NewHeartbeat(k, "native", detector.HeartbeatConfig{})
+	return &rig{
+		k:       k,
+		log:     log,
+		native:  native,
+		factory: forks.Factory(native, forks.Config{}),
+		gst:     gst,
+	}
+}
+
+func procs(n int) []sim.ProcID {
+	out := make([]sim.ProcID, n)
+	for i := range out {
+		out[i] = sim.ProcID(i)
+	}
+	return out
+}
+
+// TestPairMonitorAccuracy: with both processes correct, the extracted
+// output converges to permanent trust (Theorem 2, one pair).
+func TestPairMonitorAccuracy(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		r := newRig(t, 2, seed, 800)
+		m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+		horizon := r.k.Run(40000)
+		if m.Suspect() {
+			t.Errorf("seed %d: witness still suspects correct subject at end of run", seed)
+		}
+		// No suspicion transitions in the last third of the run.
+		convergedBy := horizon * 2 / 3
+		if _, err := checker.EventualStrongAccuracy(r.log, "xp", [][2]sim.ProcID{{0, 1}}, true, convergedBy); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPairMonitorCompleteness: if the subject crashes, the witness
+// eventually and permanently suspects it (Theorem 1, one pair).
+func TestPairMonitorCompleteness(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, crashAt := range []sim.Time{50, 2000, 9000} {
+			r := newRig(t, 2, seed, 800)
+			m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+			r.k.CrashAt(1, crashAt)
+			horizon := r.k.Run(40000)
+			if !m.Suspect() {
+				t.Errorf("seed %d crashAt %d: witness trusts crashed subject at end of run", seed, crashAt)
+			}
+			if _, err := checker.StrongCompleteness(r.log, "xp", [][2]sim.ProcID{{0, 1}}, true, horizon*2/3); err != nil {
+				t.Errorf("seed %d crashAt %d: %v", seed, crashAt, err)
+			}
+		}
+	}
+}
+
+// TestPairMonitorWitnessCrash: if the witness crashes, the subject may eat
+// forever (paper, Section 8) but nothing breaks: the run completes and the
+// dining boxes stay consistent.
+func TestPairMonitorWitnessCrash(t *testing.T) {
+	r := newRig(t, 2, 7, 800)
+	core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	r.k.CrashAt(0, 3000)
+	r.k.Run(20000)
+	// The subject's last state may legitimately be an eternal eating
+	// session; we only require that no illegal transition panicked and that
+	// the witness emitted nothing after its crash.
+	for _, rec := range r.log.Records {
+		if rec.P == 0 && rec.T > 3000 && rec.Kind != "crash" {
+			t.Fatalf("crashed witness emitted %v at t=%d", rec.Kind, rec.T)
+		}
+	}
+}
+
+// TestExtractorIsEventuallyPerfect runs the full extractor (all ordered
+// pairs) over three processes with one crash and validates both ◇P axioms —
+// the paper's Theorems 1 and 2 together.
+func TestExtractorIsEventuallyPerfect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	for _, seed := range []int64{11, 12} {
+		r := newRig(t, 3, seed, 800)
+		core.NewExtractor(r.k, procs(3), r.factory, "xp")
+		r.k.CrashAt(2, 5000)
+		horizon := r.k.Run(60000)
+		if _, err := checker.StrongCompleteness(r.log, "xp", checker.AllPairs(procs(3)), true, horizon*3/4); err != nil {
+			t.Errorf("seed %d: completeness: %v", seed, err)
+		}
+		if _, err := checker.EventualStrongAccuracy(r.log, "xp", checker.AllPairs(procs(3)), true, horizon*3/4); err != nil {
+			t.Errorf("seed %d: accuracy: %v", seed, err)
+		}
+	}
+}
+
+// TestWitnessesAlternate checks Lemma 12's shape: between two consecutive
+// eating sessions of witness wᵢ, witness w₁₋ᵢ eats exactly once.
+func TestWitnessesAlternate(t *testing.T) {
+	r := newRig(t, 2, 3, 400)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	r.k.Run(30000)
+	eat := r.log.Sessions("eating")
+	w0 := eat[trace.SessionKey{Inst: m.Tables()[0].Name(), P: 0}]
+	w1 := eat[trace.SessionKey{Inst: m.Tables()[1].Name(), P: 0}]
+	if len(w0) < 3 || len(w1) < 3 {
+		t.Fatalf("witnesses did not eat often enough: %d and %d sessions", len(w0), len(w1))
+	}
+	// Interleaving: session k of w0 starts after session k-1 of w1 and
+	// before session k of w1.
+	for i := 1; i < len(w0) && i < len(w1); i++ {
+		if !(w1[i-1].Start < w0[i].Start) {
+			t.Fatalf("witness sessions not alternating at k=%d: w1[%d].Start=%d, w0[%d].Start=%d",
+				i, i-1, w1[i-1].Start, i, w0[i].Start)
+		}
+		if !(w0[i-1].Start < w1[i-1].Start) {
+			t.Fatalf("witness sessions not alternating at k=%d: w0 then w1 expected", i)
+		}
+	}
+}
+
+// TestSubjectHandoff checks the Lemma 8 suffix invariant on a real run: in
+// the converged suffix, at any moment at least one subject is eating.
+func TestSubjectHandoff(t *testing.T) {
+	r := newRig(t, 2, 5, 400)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	horizon := r.k.Run(30000)
+	eat := r.log.Sessions("eating")
+	s0 := eat[trace.SessionKey{Inst: m.Tables()[0].Name(), P: 1}]
+	s1 := eat[trace.SessionKey{Inst: m.Tables()[1].Name(), P: 1}]
+	if len(s0) < 2 || len(s1) < 2 {
+		t.Fatalf("subjects did not eat often enough: %d and %d sessions", len(s0), len(s1))
+	}
+	// From the second half of the run on, the union of subject sessions
+	// covers every instant.
+	from := horizon / 2
+	all := append(append([]trace.Interval{}, s0...), s1...)
+	for tick := from; tick < horizon; tick += 97 {
+		covered := false
+		for _, iv := range all {
+			end := iv.End
+			if end == sim.Never {
+				end = horizon
+			}
+			if iv.Start <= tick && tick < end {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("no subject eating at t=%d (Lemma 8 suffix invariant)", tick)
+		}
+	}
+}

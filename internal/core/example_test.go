@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/sim"
+)
+
+// ExampleNewPairMonitor shows the paper's reduction on one ordered pair:
+// ◇P extracted from a black-box WF-◇WX dining service, with the output
+// flipping to permanent suspicion after the monitored process crashes.
+func ExampleNewPairMonitor() {
+	k := sim.NewKernel(2,
+		sim.WithSeed(42),
+		sim.WithDelay(sim.GSTDelay{GST: 800, PreMax: 120, PostMax: 8}),
+	)
+	native := detector.NewHeartbeat(k, "native", detector.HeartbeatConfig{})
+	blackbox := forks.Factory(native, forks.Config{})
+
+	monitor := core.NewPairMonitor(k, 0, 1, blackbox, "extracted")
+	k.CrashAt(1, 15000)
+
+	k.After(0, 10000, func() {
+		fmt.Printf("t=%d before the crash: suspect=%v\n", k.Now(), monitor.Suspect())
+	})
+	k.Run(35000)
+	fmt.Printf("t=%d after the crash:  suspect=%v\n", k.Now(), monitor.Suspect())
+	// Output:
+	// t=10000 before the crash: suspect=false
+	// t=35000 after the crash:  suspect=true
+}
+
+// ExampleNewExtractor assembles the full oracle (all ordered pairs) and
+// queries it like any failure detector.
+func ExampleNewExtractor() {
+	k := sim.NewKernel(3,
+		sim.WithSeed(7),
+		sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}),
+	)
+	native := detector.NewHeartbeat(k, "native", detector.HeartbeatConfig{})
+	procs := []sim.ProcID{0, 1, 2}
+	oracle := core.NewExtractor(k, procs, forks.Factory(native, forks.Config{}), "xp")
+
+	k.CrashAt(2, 5000)
+	k.Run(40000)
+
+	for _, q := range procs[1:] {
+		fmt.Printf("process 0 suspects %d: %v\n", q, oracle.Suspected(0, q))
+	}
+	// Output:
+	// process 0 suspects 1: false
+	// process 0 suspects 2: true
+}

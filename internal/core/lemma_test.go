@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestLemma1HungrySubjectsEat: every hunger session of a (correct) subject
+// thread ends in eating — in trace terms, every closed hungry interval is
+// immediately followed by an eating interval, and subjects accumulate many
+// of them.
+func TestLemma1HungrySubjectsEat(t *testing.T) {
+	r := newRig(t, 2, 11, 500)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	r.k.Run(30000)
+	for i := 0; i < 2; i++ {
+		inst := m.Tables()[i].Name()
+		hungry := r.log.Sessions("hungry")[trace.SessionKey{Inst: inst, P: 1}]
+		eats := r.log.Sessions("eating")[trace.SessionKey{Inst: inst, P: 1}]
+		if len(hungry) < 10 {
+			t.Fatalf("instance %d: subject hungry only %d times", i, len(hungry))
+		}
+		// The diner state machine forces hungry->eating, so counting
+		// suffices: eats == hungry or one fewer (final hunger may be open).
+		if d := len(hungry) - len(eats); d < 0 || d > 1 {
+			t.Fatalf("instance %d: %d hunger sessions but %d eating sessions", i, len(hungry), len(eats))
+		}
+	}
+}
+
+// TestLemma6SubjectEatingFinite: while both processes are live, every
+// subject eating session ends (all intervals closed except possibly the
+// final hand-off pair still in flight at the horizon).
+func TestLemma6SubjectEatingFinite(t *testing.T) {
+	r := newRig(t, 2, 12, 500)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	end := r.k.Run(30000)
+	for i := 0; i < 2; i++ {
+		inst := m.Tables()[i].Name()
+		eats := r.log.Sessions("eating")[trace.SessionKey{Inst: inst, P: 1}]
+		for j, iv := range eats {
+			if !iv.Closed() && j < len(eats)-1 {
+				t.Fatalf("instance %d: non-final eating session %d never closed", i, j)
+			}
+			if iv.Closed() && iv.End-iv.Start > end/4 {
+				t.Fatalf("instance %d: eating session absurdly long: %v", i, iv)
+			}
+		}
+	}
+}
+
+// TestLemma6CounterexampleWitnessCrash: the paper's Section 8 remark — if
+// the witness crashes, a subject's session may legitimately never end. The
+// final subject session stays open.
+func TestLemma6CounterexampleWitnessCrash(t *testing.T) {
+	r := newRig(t, 2, 13, 500)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	r.k.CrashAt(0, 5000)
+	end := r.k.Run(40000)
+	open := 0
+	for i := 0; i < 2; i++ {
+		inst := m.Tables()[i].Name()
+		for _, iv := range r.log.Sessions("eating")[trace.SessionKey{Inst: inst, P: 1}] {
+			if !iv.Closed() && end-iv.Start > 20000 {
+				open++
+			}
+		}
+	}
+	if open == 0 {
+		t.Fatal("expected an eternal subject session after the witness crash (Section 8)")
+	}
+}
+
+// TestLemma10WitnessTurnTaking: if witness wᵢ eats, w₁₋ᵢ eats afterwards —
+// strictly interleaved session starts, pairwise.
+func TestLemma10WitnessTurnTaking(t *testing.T) {
+	r := newRig(t, 2, 14, 500)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	r.k.Run(30000)
+	w0 := r.log.Sessions("eating")[trace.SessionKey{Inst: m.Tables()[0].Name(), P: 0}]
+	w1 := r.log.Sessions("eating")[trace.SessionKey{Inst: m.Tables()[1].Name(), P: 0}]
+	if len(w0) < 5 || len(w1) < 5 {
+		t.Fatalf("too few witness sessions: %d, %d", len(w0), len(w1))
+	}
+	// Merge starts and verify strict alternation w0,w1,w0,w1,...
+	n := min(len(w0), len(w1))
+	var last sim.Time = -1
+	for i := 0; i < n; i++ {
+		if !(w0[i].Start > last) {
+			t.Fatalf("w0 session %d out of order", i)
+		}
+		last = w0[i].Start
+		if !(w1[i].Start > last) {
+			t.Fatalf("w1 session %d did not follow w0 session %d", i, i)
+		}
+		last = w1[i].Start
+	}
+}
+
+// TestLemma5PingAccountingUnderCrash: after the subject crashes, pings stop
+// but the accounting never goes negative or double-counts.
+func TestLemma5PingAccountingUnderCrash(t *testing.T) {
+	r := newRig(t, 2, 15, 500)
+	m := core.NewPairMonitor(r.k, 0, 1, r.factory, "xp")
+	r.k.CrashAt(1, 8000)
+	r.k.Run(40000)
+	st := m.Stats()
+	for i := 0; i < 2; i++ {
+		if st.PingsRecv[i] > st.PingsSent[i] {
+			t.Fatalf("instance %d: received more pings than sent", i)
+		}
+		if st.AcksRecv[i] > st.AcksSent[i] {
+			t.Fatalf("instance %d: received more acks than sent", i)
+		}
+		if st.AcksSent[i] != st.PingsRecv[i] {
+			t.Fatalf("instance %d: %d acks sent for %d pings received", i, st.AcksSent[i], st.PingsRecv[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package detector provides unreliable failure detectors (Chandra–Toueg
+// oracles) for the simulation kernel: the axiomatic class definitions, a
+// realistic heartbeat implementation of the eventually perfect detector ◇P
+// under partial synchrony, and "model-true" oracles for the stronger classes
+// (P, T, S) that are fed by the fault schedule.
+//
+// The stronger oracles are deliberately schedule-fed: the whole point of the
+// paper is that classes like T encapsulate more synchrony than partially
+// synchronous systems provide, so a message-passing implementation of them
+// cannot exist in the model where ◇P lives. The reductions under test only
+// assume the class axioms, which the model-true oracles satisfy exactly.
+package detector
+
+import (
+	"repro/internal/sim"
+)
+
+// Oracle is a queryable distributed failure detector: Suspected(p, q)
+// reports the current output of p's local module about q. Implementations
+// emit "suspect"/"trust" trace records on every output change so checkers
+// can validate class axioms from the trace.
+type Oracle interface {
+	Name() string
+	Suspected(p, q sim.ProcID) bool
+}
+
+// View binds an Oracle to one local module, which is how protocol code
+// (e.g. the fork dining algorithm) consults its detector.
+type View struct {
+	Oracle Oracle
+	Self   sim.ProcID
+}
+
+// Suspected reports whether the local module currently suspects q.
+func (v View) Suspected(q sim.ProcID) bool { return v.Oracle.Suspected(v.Self, q) }
+
+// Perfect is the model-true perfect failure detector P: it suspects exactly
+// the crashed processes, instantaneously. P trivially satisfies the axioms
+// of ◇P, T and S, so it also serves as the model-true instance of those
+// classes where one is required as an assumption (never as a conclusion).
+type Perfect struct {
+	K *sim.Kernel
+}
+
+// Name implements Oracle.
+func (p Perfect) Name() string { return "P" }
+
+// Suspected implements Oracle.
+func (p Perfect) Suspected(_, q sim.ProcID) bool { return p.K.Crashed(q) }
+
+// Scripted is a mutable oracle for unit tests: Set drives outputs directly.
+// The zero value suspects no one.
+type Scripted struct {
+	m map[[2]sim.ProcID]bool
+}
+
+// Name implements Oracle.
+func (s *Scripted) Name() string { return "scripted" }
+
+// Suspected implements Oracle.
+func (s *Scripted) Suspected(p, q sim.ProcID) bool { return s.m[[2]sim.ProcID{p, q}] }
+
+// Set makes p's module output "suspect q" = v.
+func (s *Scripted) Set(p, q sim.ProcID, v bool) {
+	if s.m == nil {
+		s.m = make(map[[2]sim.ProcID]bool)
+	}
+	s.m[[2]sim.ProcID{p, q}] = v
+}
+
+// emitChange emits the standard suspect/trust trace record.
+func emitChange(k *sim.Kernel, inst string, p, q sim.ProcID, suspect bool) {
+	kind := "trust"
+	if suspect {
+		kind = "suspect"
+	}
+	k.Emit(sim.Record{P: p, Kind: kind, Peer: q, Inst: inst})
+}

@@ -1,0 +1,194 @@
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// HeartbeatConfig tunes the heartbeat implementation of ◇P.
+type HeartbeatConfig struct {
+	Interval sim.Time // heartbeat broadcast period (default 20)
+	Check    sim.Time // suspicion check period (default 10)
+	Timeout  sim.Time // initial per-peer timeout (default 60)
+	Bump     sim.Time // timeout increase after each false suspicion (default 40)
+}
+
+func (c *HeartbeatConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 20
+	}
+	if c.Check <= 0 {
+		c.Check = 10
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60
+	}
+	if c.Bump <= 0 {
+		c.Bump = 40
+	}
+}
+
+// Heartbeat is a realistic implementation of the eventually perfect failure
+// detector ◇P by adaptive timeouts: every process periodically broadcasts
+// heartbeats; a monitor suspects a peer whose heartbeat is overdue and, upon
+// discovering the suspicion was premature, trusts again and permanently
+// enlarges that peer's timeout. Under a partially synchronous delay policy
+// (sim.GSTDelay) every run converges: crashed processes are eventually and
+// permanently suspected (strong completeness) and correct processes are
+// eventually never suspected (eventual strong accuracy).
+type Heartbeat struct {
+	name string
+	k    *sim.Kernel
+	mods []*hbModule
+}
+
+type hbModule struct {
+	self     sim.ProcID
+	lastBeat map[sim.ProcID]sim.Time
+	deadline map[sim.ProcID]sim.Time
+	timeout  map[sim.ProcID]sim.Time
+	suspects map[sim.ProcID]bool
+}
+
+// NewHeartbeat installs heartbeat ◇P modules at every process of k.
+func NewHeartbeat(k *sim.Kernel, name string, cfg HeartbeatConfig) *Heartbeat {
+	cfg.defaults()
+	h := &Heartbeat{name: name, k: k, mods: make([]*hbModule, k.N())}
+	for i := 0; i < k.N(); i++ {
+		p := sim.ProcID(i)
+		m := &hbModule{
+			self:     p,
+			lastBeat: make(map[sim.ProcID]sim.Time),
+			deadline: make(map[sim.ProcID]sim.Time),
+			timeout:  make(map[sim.ProcID]sim.Time),
+			suspects: make(map[sim.ProcID]bool),
+		}
+		h.mods[i] = m
+		for j := 0; j < k.N(); j++ {
+			if j == i {
+				continue
+			}
+			q := sim.ProcID(j)
+			m.timeout[q] = cfg.Timeout
+			m.deadline[q] = cfg.Timeout
+		}
+		port := fmt.Sprintf("%s/hb", name)
+		k.Handle(p, port, func(msg sim.Message) {
+			m.lastBeat[msg.From] = k.Now()
+			m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
+			if m.suspects[msg.From] {
+				// Premature suspicion: trust again and learn.
+				m.suspects[msg.From] = false
+				m.timeout[msg.From] += cfg.Bump
+				m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
+				emitChange(k, name, p, msg.From, false)
+			}
+		})
+		// Periodic broadcast.
+		var beat func()
+		beat = func() {
+			for j := 0; j < k.N(); j++ {
+				if sim.ProcID(j) != p {
+					k.Send(p, sim.ProcID(j), port, nil)
+				}
+			}
+			k.After(p, cfg.Interval, beat)
+		}
+		k.After(p, 1+sim.Time(i)%cfg.Interval, beat)
+		// Periodic suspicion check.
+		var check func()
+		check = func() {
+			for j := 0; j < k.N(); j++ {
+				q := sim.ProcID(j)
+				if q == p || m.suspects[q] {
+					continue
+				}
+				if k.Now() > m.deadline[q] {
+					m.suspects[q] = true
+					emitChange(k, name, p, q, true)
+				}
+			}
+			k.After(p, cfg.Check, check)
+		}
+		k.After(p, cfg.Check, check)
+	}
+	return h
+}
+
+// Name implements Oracle.
+func (h *Heartbeat) Name() string { return h.name }
+
+// Suspected implements Oracle.
+func (h *Heartbeat) Suspected(p, q sim.ProcID) bool { return h.mods[p].suspects[q] }
+
+// Timeout exposes p's current adaptive timeout for q (for tests and
+// metrics).
+func (h *Heartbeat) Timeout(p, q sim.ProcID) sim.Time { return h.mods[p].timeout[q] }
+
+// Trusting is a model-true implementation of the trusting failure detector
+// T: a monitor suspects every peer until the first message arrives from it
+// ("trust is earned"), then trusts it until it actually crashes (consulting
+// the fault schedule — see the package comment for why this is legitimate).
+// It satisfies exactly T's axioms: strong completeness, eventual permanent
+// trust of correct processes, and trust withdrawal only upon a real crash.
+type Trusting struct {
+	name string
+	k    *sim.Kernel
+	mods []*trustModule
+}
+
+type trustModule struct {
+	heard    map[sim.ProcID]bool
+	suspects map[sim.ProcID]bool
+}
+
+// NewTrusting installs model-true T modules at every process. Interval is
+// the hello/check period (default 20).
+func NewTrusting(k *sim.Kernel, name string, interval sim.Time) *Trusting {
+	if interval <= 0 {
+		interval = 20
+	}
+	t := &Trusting{name: name, k: k, mods: make([]*trustModule, k.N())}
+	for i := 0; i < k.N(); i++ {
+		p := sim.ProcID(i)
+		m := &trustModule{heard: make(map[sim.ProcID]bool), suspects: make(map[sim.ProcID]bool)}
+		t.mods[i] = m
+		for j := 0; j < k.N(); j++ {
+			if j != i {
+				m.suspects[sim.ProcID(j)] = true // initial distrust
+			}
+		}
+		port := fmt.Sprintf("%s/hello", name)
+		k.Handle(p, port, func(msg sim.Message) {
+			m.heard[msg.From] = true
+			if m.suspects[msg.From] && !k.Crashed(msg.From) {
+				m.suspects[msg.From] = false
+				emitChange(k, name, p, msg.From, false)
+			}
+		})
+		var tick func()
+		tick = func() {
+			for j := 0; j < k.N(); j++ {
+				q := sim.ProcID(j)
+				if q == p {
+					continue
+				}
+				k.Send(p, q, port, nil)
+				if !m.suspects[q] && k.Crashed(q) {
+					m.suspects[q] = true // trust withdrawn: q has really crashed
+					emitChange(k, name, p, q, true)
+				}
+			}
+			k.After(p, interval, tick)
+		}
+		k.After(p, 1+sim.Time(i)%interval, tick)
+	}
+	return t
+}
+
+// Name implements Oracle.
+func (t *Trusting) Name() string { return t.name }
+
+// Suspected implements Oracle.
+func (t *Trusting) Suspected(p, q sim.ProcID) bool { return t.mods[p].suspects[q] }

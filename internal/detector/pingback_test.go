@@ -1,0 +1,97 @@
+package detector_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/detector"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestPingbackCompleteness mirrors the heartbeat test: crashed processes
+// become permanently suspected.
+func TestPingbackCompleteness(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		log := &trace.Log{}
+		k := sim.NewKernel(3, sim.WithSeed(seed), sim.WithTracer(log),
+			sim.WithDelay(sim.GSTDelay{GST: 500, PreMax: 100, PostMax: 6}))
+		pb := detector.NewPingback(k, "pb", detector.PingbackConfig{})
+		k.CrashAt(1, 1500)
+		horizon := k.Run(20000)
+		if !pb.Suspected(0, 1) || !pb.Suspected(2, 1) {
+			t.Fatalf("seed %d: crashed process not suspected", seed)
+		}
+		if _, err := checker.StrongCompleteness(log, "pb", checker.AllPairs(procs(3)), false, horizon*3/4); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPingbackEventualAccuracy: all-correct runs converge under partial
+// synchrony.
+func TestPingbackEventualAccuracy(t *testing.T) {
+	for _, seed := range []int64{4, 5, 6} {
+		log := &trace.Log{}
+		k := sim.NewKernel(3, sim.WithSeed(seed), sim.WithTracer(log),
+			sim.WithDelay(sim.GSTDelay{GST: 2000, PreMax: 300, PostMax: 6}))
+		pb := detector.NewPingback(k, "pb", detector.PingbackConfig{})
+		horizon := k.Run(30000)
+		for _, p := range procs(3) {
+			for _, q := range procs(3) {
+				if p != q && pb.Suspected(p, q) {
+					t.Fatalf("seed %d: %d still suspects %d", seed, p, q)
+				}
+			}
+		}
+		if _, err := checker.EventualStrongAccuracy(log, "pb", checker.AllPairs(procs(3)), false, horizon*3/4); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPingbackRescindsViaLatePong: a false suspicion is rescinded and
+// enlarges the timeout.
+func TestPingbackRescindsViaLatePong(t *testing.T) {
+	falseSuspicions := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		log := &trace.Log{}
+		k := sim.NewKernel(2, sim.WithSeed(seed), sim.WithTracer(log),
+			sim.WithDelay(sim.GSTDelay{GST: 3000, PreMax: 400, PostMax: 5}))
+		pb := detector.NewPingback(k, "pb", detector.PingbackConfig{Timeout: 50, Bump: 60})
+		k.Run(15000)
+		rep, err := checker.EventualStrongAccuracy(log, "pb", checker.AllPairs(procs(2)), false, 12000)
+		if err != nil {
+			t.Fatalf("seed %d: did not converge: %v", seed, err)
+		}
+		falseSuspicions += rep.Mistakes
+		if rep.Mistakes > 0 && pb.Timeout(0, 1) == 50 && pb.Timeout(1, 0) == 50 {
+			t.Fatalf("seed %d: mistakes made but no timeout grew", seed)
+		}
+	}
+	if falseSuspicions == 0 {
+		t.Fatal("adversary never caused a false suspicion across 8 runs")
+	}
+}
+
+// TestPingbackVsHeartbeatSameRun: both implementations installed on the
+// same kernel converge to the same verdicts about a crash.
+func TestPingbackVsHeartbeatSameRun(t *testing.T) {
+	k := sim.NewKernel(3, sim.WithSeed(9),
+		sim.WithDelay(sim.GSTDelay{GST: 500, PreMax: 80, PostMax: 6}))
+	hb := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	pb := detector.NewPingback(k, "pb", detector.PingbackConfig{})
+	k.CrashAt(2, 3000)
+	k.Run(30000)
+	for _, p := range procs(3)[:2] {
+		for _, q := range procs(3) {
+			if p == q {
+				continue
+			}
+			if hb.Suspected(p, q) != pb.Suspected(p, q) {
+				t.Fatalf("verdict mismatch at (%d,%d): hb=%v pb=%v",
+					p, q, hb.Suspected(p, q), pb.Suspected(p, q))
+			}
+		}
+	}
+}

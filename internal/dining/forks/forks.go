@@ -1,0 +1,275 @@
+// Package forks implements wait-free dining under eventual weak exclusion
+// (WF-◇WX): the sufficiency-direction black box the paper cites as [12]
+// (Pike, Song and Sastry), realized as a fork-token algorithm with a ◇P
+// suspicion override.
+//
+// Safety skeleton: each edge of the conflict graph carries a single fork
+// token; a diner needs the fork of every incident edge to eat, so two
+// neighbors that both wait for real forks can never eat together.
+//
+// Priority: fork requests are ordered by the requester's current hunger
+// session, stamped with a Lamport clock — the total order on (timestamp,
+// id) decides every conflict. A holder yields a requested fork unless it is
+// eating or it is hungry with the older claim; deferred requests are
+// granted on exit. Requests are retransmitted while hungry, which makes the
+// protocol insensitive to channel reordering. Because priority is derived
+// from logical time rather than from persistent per-edge state, scheduling
+// mistakes cannot corrupt it: the classical argument applies in every
+// reachable configuration — the globally oldest hungry diner gets all its
+// forks, eats, and re-timestamps behind everyone else, so no correct hungry
+// diner starves. (A dirty/clean hygienic orientation, by contrast, can be
+// driven into a precedence cycle by override mistakes, which is why this
+// implementation orders by logical time.)
+//
+// Crash tolerance: a hungry diner also eats when every missing fork belongs
+// to a neighbor its ◇P module currently suspects. False suspicions yield
+// the finitely many scheduling mistakes that ◇WX permits; once the oracle
+// converges, overrides involve only crashed neighbors, so live neighbors
+// never eat together again (eventual weak exclusion) and crashed fork
+// holders never block anyone (wait-freedom). Overrides never transfer fork
+// ownership, so the one-fork-per-edge invariant survives every mistake.
+package forks
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Config tunes the algorithm.
+type Config struct {
+	// Retry is the request retransmission period while hungry (default 25).
+	Retry sim.Time
+}
+
+// Table is a fork-algorithm dining instance.
+type Table struct {
+	name string
+	g    *graph.Graph
+	mods map[sim.ProcID]*module
+}
+
+// New builds a WF-◇WX dining instance over g, consulting oracle (expected
+// to satisfy the ◇P axioms) for the suspicion override.
+func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
+	if cfg.Retry <= 0 {
+		cfg.Retry = 25
+	}
+	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*module)}
+	for _, p := range g.Nodes() {
+		t.mods[p] = newModule(k, g, name, p, oracle, cfg)
+	}
+	return t
+}
+
+// Factory returns a dining.Factory that builds fork tables bound to the
+// given oracle — the black-box shape the reduction consumes.
+func Factory(oracle detector.Oracle, cfg Config) dining.Factory {
+	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+		return New(k, g, name, oracle, cfg)
+	}
+}
+
+// Name implements dining.Table.
+func (t *Table) Name() string { return t.name }
+
+// Graph implements dining.Table.
+func (t *Table) Graph() *graph.Graph { return t.g }
+
+// Diner implements dining.Table.
+func (t *Table) Diner(p sim.ProcID) dining.Diner {
+	m, ok := t.mods[p]
+	if !ok {
+		panic(fmt.Sprintf("forks: %d is not a diner of %s", p, t.name))
+	}
+	return m
+}
+
+// HoldsFork reports whether p currently holds the fork of edge (p, q). At
+// most one endpoint holds a given fork at any time (it may also be in
+// transit); tests use this to verify fork conservation.
+func (t *Table) HoldsFork(p, q sim.ProcID) bool {
+	m, ok := t.mods[p]
+	if !ok {
+		return false
+	}
+	e, ok := m.edges[q]
+	return ok && e.hold
+}
+
+// edge is per-neighbor fork state at one module.
+type edge struct {
+	hold   bool // we hold the fork of this edge
+	wanted bool // the neighbor requested it while we could not yield
+}
+
+type reqMsg struct {
+	TS int64 // requester's hunger-session Lamport timestamp
+}
+
+type forkMsg struct{}
+
+type module struct {
+	*dining.Core
+	k      *sim.Kernel
+	self   sim.ProcID
+	nbrs   []sim.ProcID
+	edges  map[sim.ProcID]*edge
+	view   detector.View
+	cfg    Config
+	prefix string
+
+	clock    int64 // Lamport clock
+	hungerTS int64 // timestamp of the current hunger session
+}
+
+func newModule(k *sim.Kernel, g *graph.Graph, name string, p sim.ProcID, oracle detector.Oracle, cfg Config) *module {
+	m := &module{
+		Core:   dining.NewCore(k, p, name),
+		k:      k,
+		self:   p,
+		nbrs:   g.Neighbors(p),
+		edges:  make(map[sim.ProcID]*edge),
+		view:   detector.View{Oracle: oracle, Self: p},
+		cfg:    cfg,
+		prefix: name,
+	}
+	for _, q := range m.nbrs {
+		// Initial fork placement: the lower id holds (any assignment works;
+		// priority comes from timestamps, not from placement).
+		m.edges[q] = &edge{hold: p < q}
+	}
+	k.Handle(p, m.prefix+"/req", m.onReq)
+	k.Handle(p, m.prefix+"/fork", m.onFork)
+	k.AddAction(p, m.prefix+"/eat", m.canEat, m.eat)
+	k.AddAction(p, m.prefix+"/exit-done", func() bool { return m.State() == dining.Exiting }, m.finishExit)
+	return m
+}
+
+// Hungry implements dining.Diner: stamp the session and chase forks.
+func (m *module) Hungry() {
+	m.Set(dining.Hungry)
+	m.clock++
+	m.hungerTS = m.clock
+	m.requestMissing()
+	m.scheduleRetry()
+}
+
+// Exit implements dining.Diner.
+func (m *module) Exit() { m.Set(dining.Exiting) }
+
+// canEat: hungry, and every fork is either held or excused by suspicion of
+// its holder's process.
+func (m *module) canEat() bool {
+	if m.State() != dining.Hungry {
+		return false
+	}
+	for _, q := range m.nbrs {
+		if !m.edges[q].hold && !m.view.Suspected(q) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *module) eat() { m.Set(dining.Eating) }
+
+// finishExit grants every deferred request and returns to thinking.
+func (m *module) finishExit() {
+	for _, q := range m.nbrs {
+		if e := m.edges[q]; e.wanted && e.hold {
+			m.yield(q)
+		}
+	}
+	m.Set(dining.Thinking)
+}
+
+// older reports whether claim (ts, p) precedes claim (ts2, q) in the global
+// priority order.
+func older(ts int64, p sim.ProcID, ts2 int64, q sim.ProcID) bool {
+	if ts != ts2 {
+		return ts < ts2
+	}
+	return p < q
+}
+
+// onReq decides a fork request: yield unless we are eating, or hungry with
+// the older claim. A request for a fork we do not hold is remembered too:
+// non-FIFO channels can deliver a request ahead of the fork it chases.
+func (m *module) onReq(msg sim.Message) {
+	q := msg.From
+	e, ok := m.edges[q]
+	if !ok {
+		return
+	}
+	req := msg.Payload.(reqMsg)
+	if req.TS > m.clock {
+		m.clock = req.TS
+	}
+	if !e.hold {
+		e.wanted = true
+		return
+	}
+	switch m.State() {
+	case dining.Eating, dining.Exiting:
+		e.wanted = true
+	case dining.Hungry:
+		if older(m.hungerTS, m.self, req.TS, q) {
+			e.wanted = true // our claim is older: they wait
+		} else {
+			m.yield(q)
+		}
+	default: // thinking: not competing, always yield
+		m.yield(q)
+	}
+}
+
+// onFork records fork receipt (accepted in any state) and serves a deferred
+// request if we are no longer competing.
+func (m *module) onFork(msg sim.Message) {
+	e, ok := m.edges[msg.From]
+	if !ok {
+		return
+	}
+	e.hold = true
+	if e.wanted && m.State() == dining.Thinking {
+		m.yield(msg.From)
+	}
+}
+
+// yield transfers the fork to q.
+func (m *module) yield(q sim.ProcID) {
+	e := m.edges[q]
+	e.hold = false
+	e.wanted = false
+	m.k.Send(m.self, q, m.prefix+"/fork", forkMsg{})
+	if m.State() == dining.Hungry {
+		// We still compete: chase the fork we just gave up.
+		m.k.Send(m.self, q, m.prefix+"/req", reqMsg{TS: m.hungerTS})
+	}
+}
+
+// requestMissing asks for every fork we lack.
+func (m *module) requestMissing() {
+	for _, q := range m.nbrs {
+		if !m.edges[q].hold {
+			m.k.Send(m.self, q, m.prefix+"/req", reqMsg{TS: m.hungerTS})
+		}
+	}
+}
+
+// scheduleRetry retransmits requests periodically while hungry, making the
+// protocol robust to reorderings; retries to crashed holders are dropped by
+// the network (the suspicion override unblocks us instead).
+func (m *module) scheduleRetry() {
+	m.k.After(m.self, m.cfg.Retry, func() {
+		if m.State() != dining.Hungry {
+			return
+		}
+		m.requestMissing()
+		m.scheduleRetry()
+	})
+}

@@ -1,0 +1,107 @@
+package perfect_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/dining"
+	"repro/internal/dining/perfect"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// run drives every diner of g on a centralized table whose coordinator sits
+// at process g.N() (one extra process).
+func run(t testing.TB, g *graph.Graph, seed int64, crashes map[sim.ProcID]sim.Time, horizon sim.Time) (*trace.Log, sim.Time) {
+	t.Helper()
+	log := &trace.Log{}
+	coord := sim.ProcID(g.N())
+	k := sim.NewKernel(g.N()+1, sim.WithSeed(seed), sim.WithTracer(log),
+		sim.WithDelay(sim.UniformDelay{Min: 1, Max: 15}))
+	tbl := perfect.New(k, g, "px", coord)
+	for _, p := range g.Nodes() {
+		dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+			ThinkMin: 10, ThinkMax: 100, EatMin: 5, EatMax: 30,
+		})
+	}
+	for p, at := range crashes {
+		k.CrashAt(p, at)
+	}
+	end := k.Run(horizon)
+	return log, end
+}
+
+// TestPerpetualExclusion: the centralized table never lets two live
+// neighbors eat together — in any run, crash or not.
+func TestPerpetualExclusion(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for name, g := range map[string]*graph.Graph{
+			"pair":    graph.Pair(0, 1),
+			"clique4": graph.Clique(4),
+			"ring5":   graph.Ring(5),
+		} {
+			log, end := run(t, g, seed, map[sim.ProcID]sim.Time{0: 5000}, 30000)
+			if _, err := checker.PerpetualWeakExclusion(log, g, "px", end); err != nil {
+				t.Errorf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestWaitFree: correct diners never starve, even when an eater crashes in
+// its critical section (the coordinator releases it).
+func TestWaitFree(t *testing.T) {
+	g := graph.Clique(4)
+	for _, seed := range []int64{4, 5} {
+		log, end := run(t, g, seed, map[sim.ProcID]sim.Time{1: 4000, 2: 8000}, 40000)
+		if starved := checker.WaitFreedom(log, "px", end-3000, end); len(starved) > 0 {
+			t.Errorf("seed %d: %v", seed, starved)
+		}
+	}
+}
+
+// TestCrashWhileEatingReleasesNeighbors: a diner that dies mid-meal must
+// not block its neighbors forever.
+func TestCrashWhileEatingReleasesNeighbors(t *testing.T) {
+	log := &trace.Log{}
+	g := graph.Pair(0, 1)
+	k := sim.NewKernel(3, sim.WithSeed(9), sim.WithTracer(log))
+	tbl := perfect.New(k, g, "px", 2)
+	// Diner 0 eats and never exits; we crash it mid-meal.
+	d0 := tbl.Diner(0)
+	dining.Drive(k, 0, d0, dining.DriverConfig{ThinkMin: 1, ThinkMax: 1, NeverExit: true})
+	dining.Drive(k, 1, tbl.Diner(1), dining.DriverConfig{ThinkMin: 10, ThinkMax: 50, EatMin: 5, EatMax: 10})
+	k.CrashAt(0, 500)
+	end := k.Run(20000)
+	if starved := checker.WaitFreedom(log, "px", end-5000, end); len(starved) > 0 {
+		t.Fatalf("neighbor starved behind a dead eater: %v", starved)
+	}
+	eats := log.Sessions("eating")[trace.SessionKey{Inst: "px", P: 1}]
+	if len(eats) == 0 {
+		t.Fatal("neighbor never ate")
+	}
+}
+
+// TestCoordinatorMustBeExternal: using a diner as coordinator is a
+// programming error.
+func TestCoordinatorMustBeExternal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k := sim.NewKernel(2)
+	perfect.New(k, graph.Pair(0, 1), "px", 1)
+}
+
+// TestFactoryRoundRobin: the factory cycles through coordinators.
+func TestFactoryRoundRobin(t *testing.T) {
+	k := sim.NewKernel(4)
+	f := perfect.Factory([]sim.ProcID{2, 3})
+	t1 := f(k, graph.Pair(0, 1), "a")
+	t2 := f(k, graph.Pair(0, 1), "b")
+	if t1.Name() != "a" || t2.Name() != "b" {
+		t.Fatal("names mangled")
+	}
+}

@@ -1,0 +1,112 @@
+package trap_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/dining"
+	"repro/internal/dining/trap"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const era = sim.Time(3000) // mistake era used throughout
+
+func newRun(seed int64) (*sim.Kernel, *trace.Log, *trap.Table) {
+	log := &trace.Log{}
+	g := graph.Pair(0, 1)
+	k := sim.NewKernel(3, sim.WithSeed(seed), sim.WithTracer(log),
+		sim.WithDelay(sim.UniformDelay{Min: 1, Max: 12}))
+	tbl := trap.New(k, g, "trap", 2, era)
+	return k, log, tbl
+}
+
+// TestLegalWhenEatingIsFinite: with well-behaved diners (finite meals) the
+// trap is a correct WF-◇WX service — violations confined to the era and
+// its drain-out, no starvation.
+func TestLegalWhenEatingIsFinite(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		k, log, tbl := newRun(seed)
+		g := tbl.Graph()
+		for _, p := range g.Nodes() {
+			dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+				ThinkMin: 10, ThinkMax: 80, EatMin: 5, EatMax: 30,
+			})
+		}
+		end := k.Run(30000)
+		// Converged by: era end plus a generous drain-out margin.
+		if _, err := checker.EventualWeakExclusion(log, g, "trap", era+2000, end); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if starved := checker.WaitFreedom(log, "trap", end-3000, end); len(starved) > 0 {
+			t.Errorf("seed %d: %v", seed, starved)
+		}
+	}
+}
+
+// TestMistakeEraGrantsConcurrently: during the era, both neighbors can eat
+// at once (that is what makes early mistakes possible).
+func TestMistakeEraGrantsConcurrently(t *testing.T) {
+	k, log, tbl := newRun(4)
+	g := tbl.Graph()
+	// Both diners hungry immediately with long meals inside the era.
+	for _, p := range g.Nodes() {
+		dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+			FirstHunger: 5, ThinkMin: 5, ThinkMax: 10, EatMin: 200, EatMax: 400,
+		})
+	}
+	k.Run(era)
+	rep := checker.Exclusion(log, g, "trap", era)
+	if len(rep.Violations) == 0 {
+		t.Fatal("no concurrent grants during the mistake era; the trap would never trap anything")
+	}
+}
+
+// TestEternalEaterKeepsEscapeOpen: the heart of the Section 3 counter-
+// example — an era eater that never exits lets its neighbor eat (and thus a
+// flawed monitor suspect) forever, while the service stays formally within
+// its contract (the contract says nothing about runs with infinite eating).
+func TestEternalEaterKeepsEscapeOpen(t *testing.T) {
+	k, log, tbl := newRun(5)
+	g := tbl.Graph()
+	// Diner 1 grabs its critical section early and never exits.
+	dining.Drive(k, 1, tbl.Diner(1), dining.DriverConfig{FirstHunger: 5, NeverExit: true})
+	// Diner 0 keeps coming back.
+	dining.Drive(k, 0, tbl.Diner(0), dining.DriverConfig{
+		ThinkMin: 20, ThinkMax: 60, EatMin: 5, EatMax: 15,
+	})
+	end := k.Run(40000)
+	// Diner 0 must keep eating deep into the post-era suffix.
+	eats := log.Sessions("eating")[trace.SessionKey{Inst: "trap", P: 0}]
+	late := 0
+	for _, iv := range eats {
+		if iv.Start > end*3/4 {
+			late++
+		}
+	}
+	if late < 3 {
+		t.Fatalf("escape clause closed: only %d late meals for the witness-side diner", late)
+	}
+	// And those meals overlap the eternal eater: exclusion never converges.
+	rep := checker.Exclusion(log, g, "trap", end)
+	if rep.LastViolation < end*3/4 {
+		t.Fatalf("violations stopped at %d (end %d); the trap failed to trap", rep.LastViolation, end)
+	}
+}
+
+// TestPostEraStrictAmongFreshDiners: two diners that both start eating
+// after the era are never scheduled together.
+func TestPostEraStrictAmongFreshDiners(t *testing.T) {
+	k, log, tbl := newRun(6)
+	g := tbl.Graph()
+	for _, p := range g.Nodes() {
+		dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+			FirstHunger: era + 100, ThinkMin: 5, ThinkMax: 30, EatMin: 10, EatMax: 40,
+		})
+	}
+	end := k.Run(30000)
+	if rep, err := checker.PerpetualWeakExclusion(log, g, "trap", end); err != nil {
+		t.Fatalf("post-era diners overlapped: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,106 @@
+// Package election implements stable leader election from an eventually
+// perfect failure detector — the second application the paper's
+// introduction cites for ◇P (Aguilera et al., [1]).
+//
+// Each process continuously elects the smallest-id process its local ◇P
+// module does not suspect (itself included). Once the oracle converges —
+// crashed processes permanently suspected, correct ones permanently
+// trusted — every correct process elects the same leader: the smallest-id
+// correct process. The leader is *stable*: it changes only finitely often
+// in any run. Plugging in the oracle extracted by the reduction closes the
+// paper's chain "WF-◇WX ⇒ ◇P ⇒ stable leader election" executably
+// (experiment E12).
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/sim"
+)
+
+// Election runs one leader-election module at every participant.
+type Election struct {
+	name  string
+	procs []sim.ProcID
+	mods  map[sim.ProcID]*module
+}
+
+type module struct {
+	self    sim.ProcID
+	leader  sim.ProcID
+	changes int
+	lastAt  sim.Time
+}
+
+// New installs election modules at procs, consulting oracle (◇P class) and
+// re-evaluating every interval ticks (default 20). Leader changes are
+// emitted as "mark" records with Note "leader=<id>".
+func New(k *sim.Kernel, procs []sim.ProcID, name string, oracle detector.Oracle, interval sim.Time) *Election {
+	if interval <= 0 {
+		interval = 20
+	}
+	e := &Election{name: name, procs: procs, mods: make(map[sim.ProcID]*module)}
+	for _, p := range procs {
+		p := p
+		m := &module{self: p, leader: -1, lastAt: sim.Never}
+		e.mods[p] = m
+		view := detector.View{Oracle: oracle, Self: p}
+		var tick func()
+		tick = func() {
+			l := sim.ProcID(-1)
+			for _, q := range procs {
+				if q == p || !view.Suspected(q) {
+					l = q
+					break
+				}
+			}
+			if l != m.leader {
+				m.leader = l
+				m.changes++
+				m.lastAt = k.Now()
+				k.Emit(sim.Record{P: p, Kind: "mark", Peer: l, Inst: name, Note: fmt.Sprintf("leader=%d", l)})
+			}
+			k.After(p, interval, tick)
+		}
+		k.After(p, 1+sim.Time(p)%interval, tick)
+	}
+	return e
+}
+
+// Leader returns p's current leader (-1 if p suspects everyone including
+// itself, which cannot happen for live p since it never suspects itself).
+func (e *Election) Leader(p sim.ProcID) sim.ProcID { return e.mods[p].leader }
+
+// Changes returns how many times p's leader changed (stability metric).
+func (e *Election) Changes(p sim.ProcID) int { return e.mods[p].changes }
+
+// LastChange returns when p's leader last changed (sim.Never if never).
+func (e *Election) LastChange(p sim.ProcID) sim.Time { return e.mods[p].lastAt }
+
+// Agreement checks the post-run verdict: every correct process elects the
+// same correct leader. It returns that leader or an error.
+func (e *Election) Agreement(k *sim.Kernel) (sim.ProcID, error) {
+	leader := sim.ProcID(-1)
+	for _, p := range e.procs {
+		if k.Crashed(p) {
+			continue
+		}
+		l := e.mods[p].leader
+		if l < 0 {
+			return -1, fmt.Errorf("election: %d has no leader", p)
+		}
+		if k.Crashed(l) {
+			return -1, fmt.Errorf("election: %d elected crashed %d", p, l)
+		}
+		if leader == -1 {
+			leader = l
+		} else if leader != l {
+			return -1, fmt.Errorf("election: %d elected %d but others elected %d", p, l, leader)
+		}
+	}
+	if leader == -1 {
+		return -1, fmt.Errorf("election: no correct processes")
+	}
+	return leader, nil
+}

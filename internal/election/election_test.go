@@ -1,0 +1,105 @@
+package election_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/election"
+	"repro/internal/sim"
+)
+
+func procs(n int) []sim.ProcID {
+	out := make([]sim.ProcID, n)
+	for i := range out {
+		out[i] = sim.ProcID(i)
+	}
+	return out
+}
+
+// TestStableLeaderCrashFree: all processes converge on process 0 and the
+// leader stops changing.
+func TestStableLeaderCrashFree(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		k := sim.NewKernel(4, sim.WithSeed(seed),
+			sim.WithDelay(sim.GSTDelay{GST: 800, PreMax: 120, PostMax: 8}))
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		e := election.New(k, procs(4), "lead", oracle, 0)
+		end := k.Run(30000)
+		leader, err := e.Agreement(k)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if leader != 0 {
+			t.Fatalf("seed %d: leader %d, want 0 (min correct)", seed, leader)
+		}
+		for _, p := range procs(4) {
+			if last := e.LastChange(p); last != sim.Never && last > end*3/4 {
+				t.Fatalf("seed %d: leader at %d still changing at t=%d", seed, p, last)
+			}
+		}
+	}
+}
+
+// TestLeaderFailover: when the leader crashes, every survivor elects the
+// next-smallest correct process.
+func TestLeaderFailover(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		k := sim.NewKernel(4, sim.WithSeed(seed),
+			sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}))
+		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		e := election.New(k, procs(4), "lead", oracle, 0)
+		k.CrashAt(0, 5000)
+		k.CrashAt(1, 9000)
+		k.Run(40000)
+		leader, err := e.Agreement(k)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if leader != 2 {
+			t.Fatalf("seed %d: leader %d, want 2 after 0 and 1 crashed", seed, leader)
+		}
+	}
+}
+
+// TestLeaderChangesAreFinite: stability — across the run, each process
+// changes its mind only a few times (bounded by oracle mistakes + crashes).
+func TestLeaderChangesAreFinite(t *testing.T) {
+	k := sim.NewKernel(3, sim.WithSeed(6),
+		sim.WithDelay(sim.GSTDelay{GST: 2000, PreMax: 300, PostMax: 8}))
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{Timeout: 40, Bump: 60})
+	e := election.New(k, procs(3), "lead", oracle, 0)
+	k.CrashAt(2, 10000)
+	end := k.Run(60000)
+	for _, p := range procs(3)[:2] {
+		if e.Changes(p) > 40 {
+			t.Fatalf("leader at %d changed %d times; not stable", p, e.Changes(p))
+		}
+		if last := e.LastChange(p); last != sim.Never && last > end*3/4 {
+			t.Fatalf("leader at %d still flapping at t=%d", p, last)
+		}
+	}
+}
+
+// TestElectionOverExtractedOracle: the full chain — dining box ->
+// reduction -> extracted ◇P -> stable leader election, with a crash.
+func TestElectionOverExtractedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack test is long")
+	}
+	k := sim.NewKernel(3, sim.WithSeed(7),
+		sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}))
+	native := detector.NewHeartbeat(k, "native", detector.HeartbeatConfig{})
+	extracted := core.NewExtractor(k, procs(3), forks.Factory(native, forks.Config{}), "xp")
+	e := election.New(k, procs(3), "lead", extracted, 0)
+	k.CrashAt(0, 8000)
+	k.Run(80000)
+	leader, err := e.Agreement(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 1 {
+		t.Fatalf("leader %d, want 1 after 0 crashed", leader)
+	}
+}

@@ -1,0 +1,32 @@
+package election_test
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/election"
+	"repro/internal/sim"
+)
+
+// Example elects a stable leader among four processes and fails over when
+// the leader crashes.
+func Example() {
+	k := sim.NewKernel(4,
+		sim.WithSeed(3),
+		sim.WithDelay(sim.GSTDelay{GST: 600, PreMax: 80, PostMax: 8}),
+	)
+	oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+	e := election.New(k, procs(4), "lead", oracle, 0)
+
+	k.CrashAt(0, 10000) // the initial leader dies
+	k.After(1, 8000, func() {
+		fmt.Printf("t=%d leader at p1: p%d\n", k.Now(), e.Leader(1))
+	})
+	k.Run(40000)
+
+	leader, err := e.Agreement(k)
+	fmt.Printf("t=%d leader agreed by survivors: p%d (err=%v)\n", k.Now(), leader, err)
+	// Output:
+	// t=8000 leader at p1: p0
+	// t=40000 leader agreed by survivors: p1 (err=<nil>)
+}

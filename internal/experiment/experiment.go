@@ -1,0 +1,136 @@
+// Package experiment regenerates the paper's evaluation artifacts. The
+// paper is a theory result — its "evaluation" is Figure 1 plus the proof
+// suite (Lemmas 1–12, Theorems 1–2) and the executable claims of Sections
+// 2, 3 and 9 — so each experiment either renders the figure from a real run
+// or measures a theorem-shaped property over many seeded adversarial runs.
+// EXPERIMENTS.md records paper-claim vs. measured outcome per experiment.
+//
+// Each E* function is deterministic given its parameters and returns a
+// Table that cmd/paperbench prints and bench_test.go asserts on.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/dining/forks"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Failures lists property violations; a faithful reproduction run has
+	// none (except where the experiment demonstrates a violation on
+	// purpose, which lands in Rows, not here).
+	Failures []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, f := range t.Failures {
+		fmt.Fprintf(&b, "FAIL: %s\n", f)
+	}
+	return b.String()
+}
+
+// Ok reports whether the experiment observed every property it asserts.
+func (t *Table) Ok() bool { return len(t.Failures) == 0 }
+
+// Rig bundles the common experimental setup: a kernel under a GST delay
+// policy, a trace log, a native heartbeat ◇P, and the forks WF-◇WX factory
+// powered by it.
+type Rig struct {
+	K       *sim.Kernel
+	Log     *trace.Log
+	Native  *detector.Heartbeat
+	Factory dining.Factory
+	GST     sim.Time
+}
+
+// NewRig builds the standard rig with n processes.
+func NewRig(n int, seed int64, gst sim.Time) *Rig {
+	log := &trace.Log{}
+	k := sim.NewKernel(n,
+		sim.WithSeed(seed),
+		sim.WithTracer(log),
+		sim.WithDelay(sim.GSTDelay{GST: gst, PreMax: 120, PostMax: 8}),
+	)
+	native := detector.NewHeartbeat(k, "native", detector.HeartbeatConfig{})
+	return &Rig{
+		K:       k,
+		Log:     log,
+		Native:  native,
+		Factory: forks.Factory(native, forks.Config{}),
+		GST:     gst,
+	}
+}
+
+// Procs returns process ids 0..n-1.
+func Procs(n int) []sim.ProcID {
+	out := make([]sim.ProcID, n)
+	for i := range out {
+		out[i] = sim.ProcID(i)
+	}
+	return out
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+// WriteCSV emits the table (columns header + rows) as CSV for plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

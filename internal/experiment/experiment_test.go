@@ -1,0 +1,77 @@
+package experiment_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+// TestAllExperimentsPass runs the full experiment suite at reduced
+// parameters; every table must come back without property violations. This
+// is the repository's one-shot reproduction check.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is long")
+	}
+	seeds := []int64{1, 2}
+	cases := []struct {
+		id string
+		fn func() *experiment.Table
+	}{
+		{"E1", func() *experiment.Table { return experiment.E1Figure1(1) }},
+		{"E2", func() *experiment.Table { return experiment.E2Completeness(seeds, []int{2, 3}) }},
+		{"E3", func() *experiment.Table { return experiment.E3Accuracy(seeds, []sim.Time{400, 1500}) }},
+		{"E4", func() *experiment.Table { return experiment.E4Invariants(seeds) }},
+		{"E5", func() *experiment.Table { return experiment.E5Progress(seeds) }},
+		{"E6", func() *experiment.Table { return experiment.E6Flawed(1, []sim.Time{10000, 20000}) }},
+		{"E7", func() *experiment.Table { return experiment.E7Fairness(seeds) }},
+		{"E8", func() *experiment.Table { return experiment.E8Trusting(seeds[:1]) }},
+		{"E9", func() *experiment.Table { return experiment.E9Sufficiency(seeds[:1]) }},
+		{"E10", func() *experiment.Table { return experiment.E10Applications(1) }},
+		{"E11", func() *experiment.Table { return experiment.E11Scaling(1, []int{2, 3}) }},
+		{"E12", func() *experiment.Table { return experiment.E12Downstream(seeds[:1]) }},
+		{"E13", func() *experiment.Table { return experiment.E13Ablations(1) }},
+		{"E14", func() *experiment.Table { return experiment.E14Locality(1) }},
+		{"E15", func() *experiment.Table { return experiment.E15RoundTrip(seeds[:1]) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			tbl := c.fn()
+			if !tbl.Ok() {
+				t.Fatalf("experiment failed:\n%s", tbl.Render())
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+		})
+	}
+}
+
+// TestTableRender checks the text rendering shape.
+func TestTableRender(t *testing.T) {
+	tbl := &experiment.Table{
+		ID:      "EX",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "== EX: demo ==") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	if !tbl.Ok() {
+		t.Fatal("no failures recorded, Ok should hold")
+	}
+	tbl.Failures = append(tbl.Failures, "boom")
+	if tbl.Ok() || !strings.Contains(tbl.Render(), "FAIL: boom") {
+		t.Fatal("failure not rendered")
+	}
+}

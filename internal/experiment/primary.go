@@ -1,0 +1,255 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// E1Figure1 reproduces Figure 1: the witness and subject eating sessions of
+// one pair monitor in the exclusive suffix, rendered as a timeline. The
+// figure's two claims are asserted mechanically: (a) witnesses alternate
+// and never overlap, (b) the subjects' sessions overlap pairwise so that
+// some subject is always eating in the suffix.
+func E1Figure1(seed int64) *Table {
+	t := &Table{ID: "E1", Title: "Figure 1 — witness/subject sessions in the exclusive suffix"}
+	r := NewRig(2, seed, 400)
+	m := core.NewPairMonitor(r.K, 0, 1, r.Factory, "xp")
+	end := r.K.Run(30000)
+
+	eat := r.Log.Sessions("eating")
+	rows := []trace.TimelineRow{
+		{Label: "p.w0", Intervals: eat[trace.SessionKey{Inst: m.Tables()[0].Name(), P: 0}]},
+		{Label: "p.w1", Intervals: eat[trace.SessionKey{Inst: m.Tables()[1].Name(), P: 0}]},
+		{Label: "q.s0", Intervals: eat[trace.SessionKey{Inst: m.Tables()[0].Name(), P: 1}]},
+		{Label: "q.s1", Intervals: eat[trace.SessionKey{Inst: m.Tables()[1].Name(), P: 1}]},
+	}
+	// Render a window of about a dozen witness periods at the end of the
+	// run, so individual sessions and the subjects' hand-off overlap are
+	// visible (a wider window blurs into solid bars).
+	w0s := rows[0].Intervals
+	t0, t1 := end*3/4, end
+	if len(w0s) > 16 {
+		period := (w0s[len(w0s)-1].Start - w0s[len(w0s)-16].Start) / 15
+		t0 = end - 12*period
+	}
+	t.Notes = append(t.Notes, "timeline of eating sessions ('#'), window ["+itoa(int64(t0))+", "+itoa(int64(t1))+"):")
+	t.Notes = append(t.Notes, "\n"+trace.Timeline(rows, t0, t1, 72))
+
+	// (a) Witnesses never overlap (they share process p and alternate).
+	w0, w1 := rows[0].Intervals, rows[1].Intervals
+	for _, a := range w0 {
+		for _, b := range w1 {
+			if a.Overlaps(b, end) {
+				t.Failures = append(t.Failures, fmt.Sprintf("witness sessions overlap: %v vs %v", a, b))
+			}
+		}
+	}
+	// (b) Subject coverage in the suffix: every sampled instant has an
+	// eating subject.
+	subjects := append(append([]trace.Interval{}, rows[2].Intervals...), rows[3].Intervals...)
+	gaps := 0
+	for tick := t0; tick < t1; tick += 61 {
+		covered := false
+		for _, iv := range subjects {
+			endAt := iv.End
+			if endAt == sim.Never {
+				endAt = end
+			}
+			if iv.Start <= tick && tick < endAt {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			gaps++
+		}
+	}
+	if gaps > 0 {
+		t.Failures = append(t.Failures, fmt.Sprintf("%d sampled instants with no subject eating (hand-off broken)", gaps))
+	}
+	t.Columns = []string{"property", "result"}
+	t.Rows = [][]string{
+		{"witness sessions (w0/w1)", fmt.Sprintf("%d / %d", len(w0), len(w1))},
+		{"subject sessions (s0/s1)", fmt.Sprintf("%d / %d", len(rows[2].Intervals), len(rows[3].Intervals))},
+		{"witness overlaps", "0 required"},
+		{"suffix instants w/o eating subject", itoa(int64(gaps))},
+	}
+	return t
+}
+
+// E2Completeness measures Theorem 1 over full extractors: every crashed
+// process becomes permanently suspected by every correct process; the table
+// reports worst-case detection latency per system size.
+func E2Completeness(seeds []int64, sizes []int) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Theorem 1 — strong completeness of the extracted ◇P",
+		Columns: []string{"n", "seed", "crashed", "worst detection latency", "verdict"},
+	}
+	for _, n := range sizes {
+		for _, seed := range seeds {
+			r := NewRig(n, seed, 800)
+			core.NewExtractor(r.K, Procs(n), r.Factory, "xp")
+			crashed := sim.ProcID(n - 1)
+			r.K.CrashAt(crashed, 5000)
+			horizon := r.K.Run(60000)
+			rep, err := checker.StrongCompleteness(r.Log, "xp", checker.AllPairs(Procs(n)), true, horizon*3/4)
+			verdict := "ok"
+			if err != nil {
+				verdict = err.Error()
+				t.Failures = append(t.Failures, fmt.Sprintf("n=%d seed=%d: %v", n, seed, err))
+			}
+			worst := sim.Time(0)
+			for _, lat := range rep.DetectionLatency {
+				if lat > worst {
+					worst = lat
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(int64(n)), itoa(seed), fmt.Sprintf("p%d@5000", crashed),
+				itoa(int64(worst)), verdict,
+			})
+		}
+	}
+	return t
+}
+
+// E3Accuracy measures Theorem 2: in runs where the monitored pair is
+// correct, the extracted oracle makes finitely many mistakes and converges;
+// the table reports mistake counts and convergence times against harsher
+// pre-GST adversaries.
+func E3Accuracy(seeds []int64, gsts []sim.Time) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Theorem 2 — eventual strong accuracy of the extracted ◇P",
+		Columns: []string{"GST", "seed", "mistakes", "converged at", "verdict"},
+	}
+	for _, gst := range gsts {
+		for _, seed := range seeds {
+			r := NewRig(2, seed, gst)
+			core.NewPairMonitor(r.K, 0, 1, r.Factory, "xp")
+			horizon := r.K.Run(60000)
+			rep, err := checker.EventualStrongAccuracy(r.Log, "xp", [][2]sim.ProcID{{0, 1}}, true, horizon*3/4)
+			verdict := "ok"
+			if err != nil {
+				verdict = err.Error()
+				t.Failures = append(t.Failures, fmt.Sprintf("gst=%d seed=%d: %v", gst, seed, err))
+			}
+			conv := "never suspected falsely after start"
+			if rep.Convergence != sim.Never {
+				conv = itoa(int64(rep.Convergence))
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(int64(gst)), itoa(seed), itoa(int64(rep.Mistakes)), conv, verdict,
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"mistakes include the mandated initial suspicion; ◇P permits any finite count")
+	return t
+}
+
+// E4Invariants arms the Lemma 2/3/4/9 monitors (plus the Lemma 8 suffix
+// samples) on pair monitors across seeds and crash patterns; the paper's
+// proofs require zero violations.
+func E4Invariants(seeds []int64) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Lemmas 2, 3, 4, 8, 9 — configuration invariants of the reduction",
+		Columns: []string{"seed", "scenario", "polls", "violations", "verdict"},
+	}
+	scenarios := []struct {
+		name  string
+		crash sim.Time // of the subject; Never = none
+	}{
+		{"correct pair", sim.Never},
+		{"subject crashes", 7000},
+	}
+	for _, seed := range seeds {
+		for _, sc := range scenarios {
+			r := NewRig(2, seed, 800)
+			m := core.NewPairMonitor(r.K, 0, 1, r.Factory, "xp")
+			horizon := sim.Time(40000)
+			var details []string
+			count := m.WatchInvariants(37, horizon*3/4, func(at sim.Time, what string) {
+				if len(details) < 5 {
+					details = append(details, fmt.Sprintf("t=%d %s", at, what))
+				}
+			})
+			if sc.crash != sim.Never {
+				r.K.CrashAt(1, sc.crash)
+			}
+			r.K.Run(horizon)
+			polls := int64(horizon) / 37
+			verdict := "ok"
+			if *count > 0 {
+				verdict = details[0]
+				t.Failures = append(t.Failures, fmt.Sprintf("seed=%d %s: %d violations (%v)", seed, sc.name, *count, details))
+			}
+			t.Rows = append(t.Rows, []string{itoa(seed), sc.name, itoa(polls), itoa(int64(*count)), verdict})
+		}
+	}
+	return t
+}
+
+// E5Progress measures the counting lemmas: Lemma 5 (exactly one ping and
+// one ack per subject eating session), Lemma 7/11 (subjects and witnesses
+// eat infinitely often — proxied by large session counts over a long run),
+// and Lemma 12 (witness alternation).
+func E5Progress(seeds []int64) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Lemmas 5, 7, 11, 12 — ping/ack accounting and infinite progress",
+		Columns: []string{"seed", "s-sessions", "pings(s0/s1)", "acks(s0/s1)", "w-sessions", "verdict"},
+	}
+	for _, seed := range seeds {
+		r := NewRig(2, seed, 600)
+		m := core.NewPairMonitor(r.K, 0, 1, r.Factory, "xp")
+		end := r.K.Run(40000)
+		eat := r.Log.Sessions("eating")
+		var sSess, wSess [2]int
+		for i := 0; i < 2; i++ {
+			sSess[i] = len(eat[trace.SessionKey{Inst: m.Tables()[i].Name(), P: 1}])
+			wSess[i] = len(eat[trace.SessionKey{Inst: m.Tables()[i].Name(), P: 0}])
+		}
+		st := m.Stats()
+		verdict := "ok"
+		fail := func(f string, args ...any) {
+			verdict = fmt.Sprintf(f, args...)
+			t.Failures = append(t.Failures, fmt.Sprintf("seed=%d: %s", seed, verdict))
+		}
+		for i := 0; i < 2; i++ {
+			// Lemma 5: one ping and one ack per eating session. The final
+			// session may still be open mid-handshake, hence the ±1.
+			if d := st.PingsSent[i] - int64(sSess[i]); d < -1 || d > 1 {
+				fail("instance %d: %d pings vs %d sessions", i, st.PingsSent[i], sSess[i])
+			}
+			if d := st.AcksRecv[i] - st.PingsSent[i]; d < -1 || d > 0 {
+				fail("instance %d: %d acks recv vs %d pings sent", i, st.AcksRecv[i], st.PingsSent[i])
+			}
+			// Lemma 7/11 proxy: dozens of sessions in a long run.
+			if sSess[i] < 10 || wSess[i] < 10 {
+				fail("instance %d: too few sessions (s=%d w=%d)", i, sSess[i], wSess[i])
+			}
+		}
+		// Lemma 12: witness session counts in the two instances differ by
+		// at most one (strict alternation).
+		if d := wSess[0] - wSess[1]; d < -1 || d > 1 {
+			fail("witness alternation broken: %d vs %d sessions", wSess[0], wSess[1])
+		}
+		_ = end
+		t.Rows = append(t.Rows, []string{
+			itoa(seed),
+			fmt.Sprintf("%d/%d", sSess[0], sSess[1]),
+			fmt.Sprintf("%d/%d", st.PingsSent[0], st.PingsSent[1]),
+			fmt.Sprintf("%d/%d", st.AcksRecv[0], st.AcksRecv[1]),
+			fmt.Sprintf("%d/%d", wSess[0], wSess[1]),
+			verdict,
+		})
+	}
+	return t
+}

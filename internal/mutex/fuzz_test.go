@@ -1,0 +1,45 @@
+package mutex_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/graph"
+	"repro/internal/mutex"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FuzzMutexSchedules: perpetual weak exclusion of the FTME box must hold
+// under arbitrary message schedules and crash times — safety may never
+// depend on timing. Seed corpus runs under plain `go test`; explore the
+// schedule space with `go test -fuzz=FuzzMutexSchedules`.
+func FuzzMutexSchedules(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, int64(-1))
+	f.Add([]byte{250, 1, 250, 1}, int64(900))
+	f.Add([]byte{7}, int64(42))
+	f.Fuzz(func(t *testing.T, pattern []byte, crashAt int64) {
+		if len(pattern) > 4096 {
+			t.Skip()
+		}
+		log := &trace.Log{}
+		g := graph.Clique(3)
+		k := sim.NewKernel(3, sim.WithSeed(1), sim.WithTracer(log),
+			sim.WithDelay(&sim.BytesDelay{Pattern: pattern, Max: 48}))
+		tbl := mutex.New(k, g, "mx", detector.Perfect{K: k})
+		for _, p := range g.Nodes() {
+			dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+				FirstHunger: 2, ThinkMin: 1, ThinkMax: 5, EatMin: 1, EatMax: 4,
+			})
+		}
+		if crashAt > 0 {
+			k.CrashAt(sim.ProcID(crashAt%3), sim.Time(crashAt%5000)+1)
+		}
+		end := k.Run(15000)
+		if rep, err := checker.PerpetualWeakExclusion(log, g, "mx", end); err != nil {
+			t.Fatalf("ℙWX violated under schedule %v: %v", pattern, rep.Violations[0])
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Example shows the kernel's programming model: guarded actions, message
+// handlers, timers, and a crash, all on deterministic virtual time.
+func Example() {
+	k := sim.NewKernel(2, sim.WithSeed(1), sim.WithDelay(sim.FixedDelay{D: 3}))
+
+	// Process 1 echoes every ping.
+	k.Handle(1, "ping", func(m sim.Message) {
+		k.Send(1, m.From, "pong", m.Payload)
+	})
+
+	// Process 0 pings once per timer tick and counts echoes.
+	echoes := 0
+	k.Handle(0, "pong", func(sim.Message) { echoes++ })
+	var tick func()
+	tick = func() {
+		k.Send(0, 1, "ping", echoes)
+		k.After(0, 10, tick)
+	}
+	k.After(0, 1, tick)
+
+	// Process 1 crashes mid-run: echoes stop, the run keeps going.
+	k.CrashAt(1, 55)
+
+	end := k.Run(100)
+	fmt.Printf("end=%d echoes=%d crashed(1)=%v\n", end, echoes, k.Crashed(1))
+	// Output:
+	// end=100 echoes=6 crashed(1)=true
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Crash is one entry of a fault plan: process P crashes at time At.
+type Crash struct {
+	P  ProcID
+	At Time
+}
+
+// FaultPlan is a named crash schedule. Plans make experiment sweeps
+// declarative: generators below produce the standard shapes (none, single,
+// staggered, minority, majority) and Apply installs them on a kernel.
+type FaultPlan struct {
+	Name    string
+	Crashes []Crash
+}
+
+// Apply schedules every crash of the plan on k.
+func (fp FaultPlan) Apply(k *Kernel) {
+	for _, c := range fp.Crashes {
+		k.CrashAt(c.P, c.At)
+	}
+}
+
+// Faulty returns the set of processes the plan crashes.
+func (fp FaultPlan) Faulty() map[ProcID]bool {
+	out := make(map[ProcID]bool, len(fp.Crashes))
+	for _, c := range fp.Crashes {
+		out[c.P] = true
+	}
+	return out
+}
+
+// Correct returns the processes of 0..n-1 the plan never crashes, sorted.
+func (fp FaultPlan) Correct(n int) []ProcID {
+	faulty := fp.Faulty()
+	var out []ProcID
+	for i := 0; i < n; i++ {
+		if !faulty[ProcID(i)] {
+			out = append(out, ProcID(i))
+		}
+	}
+	return out
+}
+
+func (fp FaultPlan) String() string {
+	if len(fp.Crashes) == 0 {
+		return fp.Name + "{}"
+	}
+	parts := make([]string, len(fp.Crashes))
+	for i, c := range fp.Crashes {
+		parts[i] = fmt.Sprintf("%d@%d", c.P, c.At)
+	}
+	return fp.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// NoFaults is the empty plan.
+func NoFaults() FaultPlan { return FaultPlan{Name: "none"} }
+
+// SingleCrash crashes exactly p at t.
+func SingleCrash(p ProcID, t Time) FaultPlan {
+	return FaultPlan{Name: "single", Crashes: []Crash{{P: p, At: t}}}
+}
+
+// StaggeredCrashes crashes the given processes one by one, the first at
+// start and each subsequent one gap ticks later.
+func StaggeredCrashes(ps []ProcID, start, gap Time) FaultPlan {
+	fp := FaultPlan{Name: "staggered"}
+	at := start
+	for _, p := range ps {
+		fp.Crashes = append(fp.Crashes, Crash{P: p, At: at})
+		at += gap
+	}
+	return fp
+}
+
+// MinorityCrashes crashes a random strict minority of 0..n-1 (at least one
+// process if n > 2) at random times in [lo, hi]. Deterministic given rng.
+func MinorityCrashes(n int, lo, hi Time, rng *rand.Rand) FaultPlan {
+	maxF := (n - 1) / 2
+	if maxF < 1 {
+		return NoFaults()
+	}
+	f := 1 + rng.Intn(maxF)
+	perm := rng.Perm(n)
+	fp := FaultPlan{Name: "minority"}
+	for i := 0; i < f; i++ {
+		fp.Crashes = append(fp.Crashes, Crash{
+			P:  ProcID(perm[i]),
+			At: lo + Time(rng.Int63n(int64(max(1, hi-lo+1)))),
+		})
+	}
+	sort.Slice(fp.Crashes, func(i, j int) bool { return fp.Crashes[i].At < fp.Crashes[j].At })
+	return fp
+}
+
+// AllButOne crashes every process except survivor, staggered from start —
+// the wait-freedom stress plan ("regardless of how many processes crash").
+func AllButOne(n int, survivor ProcID, start, gap Time) FaultPlan {
+	fp := FaultPlan{Name: "all-but-one"}
+	at := start
+	for i := 0; i < n; i++ {
+		if ProcID(i) == survivor {
+			continue
+		}
+		fp.Crashes = append(fp.Crashes, Crash{P: ProcID(i), At: at})
+		at += gap
+	}
+	return fp
+}
+
+// RunUntil executes the simulation until cond returns true (checked after
+// every event), the horizon passes, or the event queue drains. It returns
+// the stop time and whether cond was met.
+func (k *Kernel) RunUntil(horizon Time, cond func() bool) (Time, bool) {
+	if cond() {
+		return k.now, true
+	}
+	for k.queue.Len() > 0 {
+		if next := k.queue.peek(); next.at > horizon {
+			k.now = horizon
+			return k.now, false
+		}
+		e := k.queue.pop()
+		k.now = e.at
+		e.fn()
+		if cond() {
+			return k.now, true
+		}
+		if k.stopped {
+			break
+		}
+	}
+	return k.now, cond()
+}

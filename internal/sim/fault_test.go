@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFaultPlanShapes(t *testing.T) {
+	if n := len(NoFaults().Crashes); n != 0 {
+		t.Fatalf("NoFaults has %d crashes", n)
+	}
+	sp := SingleCrash(3, 100)
+	if len(sp.Crashes) != 1 || sp.Crashes[0].P != 3 || sp.Crashes[0].At != 100 {
+		t.Fatalf("SingleCrash: %v", sp)
+	}
+	st := StaggeredCrashes([]ProcID{1, 4}, 100, 50)
+	if st.Crashes[0].At != 100 || st.Crashes[1].At != 150 {
+		t.Fatalf("Staggered: %v", st)
+	}
+	ab := AllButOne(4, 2, 100, 10)
+	if len(ab.Crashes) != 3 {
+		t.Fatalf("AllButOne: %v", ab)
+	}
+	for _, c := range ab.Crashes {
+		if c.P == 2 {
+			t.Fatal("AllButOne crashed the survivor")
+		}
+	}
+	correct := ab.Correct(4)
+	if len(correct) != 1 || correct[0] != 2 {
+		t.Fatalf("Correct: %v", correct)
+	}
+}
+
+// TestMinorityCrashesProperty: the generated plan always crashes a strict
+// minority, within the window, without duplicates.
+func TestMinorityCrashesProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 3 // 3..10
+		rng := rand.New(rand.NewSource(seed))
+		fp := MinorityCrashes(n, 100, 500, rng)
+		if 2*len(fp.Crashes) >= n {
+			return false // must be a strict minority
+		}
+		seen := map[ProcID]bool{}
+		for _, c := range fp.Crashes {
+			if c.At < 100 || c.At > 600 || seen[c.P] || int(c.P) >= n {
+				return false
+			}
+			seen[c.P] = true
+		}
+		return len(fp.Crashes) >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultPlanApply(t *testing.T) {
+	k := NewKernel(3)
+	StaggeredCrashes([]ProcID{0, 2}, 50, 100).Apply(k)
+	k.Run(1000)
+	if !k.Crashed(0) || !k.Crashed(2) || k.Crashed(1) {
+		t.Fatal("plan not applied")
+	}
+	if k.CrashTime(0) != 50 || k.CrashTime(2) != 150 {
+		t.Fatalf("crash times: %d %d", k.CrashTime(0), k.CrashTime(2))
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.AddAction(0, "inc", func() bool { return n < 100 }, func() { n++ })
+	at, ok := k.RunUntil(100000, func() bool { return n >= 10 })
+	if !ok || n != 10 {
+		t.Fatalf("RunUntil stopped at n=%d ok=%v", n, ok)
+	}
+	if at <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// Condition never met: runs to quiescence (guard disables at 100).
+	_, ok = k.RunUntil(100000, func() bool { return n > 1000 })
+	if ok || n != 100 {
+		t.Fatalf("RunUntil: n=%d ok=%v, want 100 false", n, ok)
+	}
+	// Immediate condition.
+	if _, ok := k.RunUntil(100000, func() bool { return true }); !ok {
+		t.Fatal("immediate condition missed")
+	}
+}
+
+func TestFaultPlanString(t *testing.T) {
+	if s := NoFaults().String(); s != "none{}" {
+		t.Fatalf("got %q", s)
+	}
+	if s := SingleCrash(1, 20).String(); s != "single{1@20}" {
+		t.Fatalf("got %q", s)
+	}
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// proc is the kernel-side bookkeeping for one process.
+type proc struct {
+	id          ProcID
+	crashed     bool
+	crashedAt   Time
+	actions     []Action
+	rot         int // rotation cursor for weakly fair action selection
+	stepPending bool
+	handlers    map[string]Handler
+}
+
+// Kernel is a deterministic discrete-event simulator of an asynchronous
+// message-passing system. It is single-threaded: protocol code runs inside
+// kernel callbacks and must not spawn goroutines or block.
+type Kernel struct {
+	now      Time
+	seq      int64
+	queue    eventQueue
+	procs    []*proc
+	rng      *rand.Rand
+	delay    DelayPolicy
+	stepMax  Time // next step scheduled within [1, stepMax] ticks
+	tracer   Tracer
+	inFlight int
+	counters map[string]int64
+	stopped  bool
+}
+
+// Option configures a Kernel at construction time.
+type Option func(*Kernel)
+
+// WithDelay sets the message delay policy (default UniformDelay{1, 8}).
+func WithDelay(d DelayPolicy) Option { return func(k *Kernel) { k.delay = d } }
+
+// WithSeed seeds the kernel's deterministic random source (default 1).
+func WithSeed(seed int64) Option {
+	return func(k *Kernel) { k.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTracer attaches a Tracer that receives every emitted Record.
+func WithTracer(t Tracer) Option { return func(k *Kernel) { k.tracer = t } }
+
+// WithStepJitter bounds the gap between consecutive steps of a live process
+// (default 3). Larger values give the adversary coarser interleavings.
+func WithStepJitter(maxGap Time) Option {
+	return func(k *Kernel) { k.stepMax = max(1, maxGap) }
+}
+
+// NewKernel creates a kernel simulating n processes with ids 0..n-1.
+func NewKernel(n int, opts ...Option) *Kernel {
+	k := &Kernel{
+		rng:      rand.New(rand.NewSource(1)),
+		delay:    UniformDelay{Min: 1, Max: 8},
+		stepMax:  3,
+		counters: make(map[string]int64),
+	}
+	for i := 0; i < n; i++ {
+		k.procs = append(k.procs, &proc{
+			id:        ProcID(i),
+			crashedAt: Never,
+			handlers:  make(map[string]Handler),
+		})
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+// N returns the number of processes.
+func (k *Kernel) N() int { return len(k.procs) }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source for protocol modules
+// that need randomness (all randomness must come from here to keep runs
+// reproducible).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Crashed reports whether p has crashed (ground truth; only fault-schedule
+// aware oracles may consult this).
+func (k *Kernel) Crashed(p ProcID) bool { return k.procs[p].crashed }
+
+// CrashTime returns the time p crashed, or Never.
+func (k *Kernel) CrashTime(p ProcID) Time { return k.procs[p].crashedAt }
+
+// Live reports whether p has not crashed.
+func (k *Kernel) Live(p ProcID) bool { return !k.procs[p].crashed }
+
+// AddAction registers a guarded action at process p. Guards must be
+// side-effect-free predicates over p's local state; bodies are atomic steps.
+func (k *Kernel) AddAction(p ProcID, name string, guard func() bool, body func()) {
+	pr := k.procs[p]
+	pr.actions = append(pr.actions, Action{Name: name, Guard: guard, Body: body})
+	k.wake(p)
+}
+
+// Handle registers the message handler for the given port at process p.
+// Registering twice for the same port is a programming error.
+func (k *Kernel) Handle(p ProcID, port string, h Handler) {
+	pr := k.procs[p]
+	if _, dup := pr.handlers[port]; dup {
+		panic(fmt.Sprintf("sim: duplicate handler for port %q at process %d", port, p))
+	}
+	pr.handlers[port] = h
+}
+
+// Send transmits a message on a reliable non-FIFO channel. Delivery is
+// scheduled according to the delay policy; messages to processes that have
+// crashed by delivery time are dropped (the paper only guarantees delivery
+// to correct processes).
+func (k *Kernel) Send(from, to ProcID, port string, payload any) {
+	k.counters["msg.sent"]++
+	k.counters["msg.sent:"+portPrefix(port)]++
+	m := Message{From: from, To: to, Port: port, Payload: payload}
+	d := k.delay.Delay(k.rng, from, to, k.now)
+	if d < 1 {
+		d = 1
+	}
+	k.inFlight++
+	k.schedule(k.now+d, func() { k.deliver(m) })
+}
+
+// After schedules fn to run at process p after d ticks (a local timer). The
+// timer is discarded if p has crashed by then.
+func (k *Kernel) After(p ProcID, d Time, fn func()) {
+	if d < 1 {
+		d = 1
+	}
+	k.schedule(k.now+d, func() {
+		if k.procs[p].crashed {
+			return
+		}
+		fn()
+		k.wake(p)
+	})
+}
+
+// CrashAt schedules process p to crash at time t: from t on it takes no
+// steps, receives no messages, and fires no timers.
+func (k *Kernel) CrashAt(p ProcID, t Time) {
+	k.schedule(t, func() {
+		pr := k.procs[p]
+		if pr.crashed {
+			return
+		}
+		pr.crashed = true
+		pr.crashedAt = k.now
+		k.Emit(Record{P: p, Kind: "crash", Peer: -1})
+	})
+}
+
+// Emit records a trace event, stamping it with the current time and a fresh
+// sequence number.
+func (k *Kernel) Emit(r Record) {
+	if k.tracer == nil {
+		return
+	}
+	r.T = k.now
+	k.seq++
+	r.Seq = k.seq
+	k.tracer.Trace(r)
+}
+
+// Counter returns a named kernel counter (e.g. "msg.sent", "msg.dropped",
+// "steps", "msg.sent:dx").
+func (k *Kernel) Counter(name string) int64 { return k.counters[name] }
+
+// Counters returns a sorted snapshot of all counters.
+func (k *Kernel) Counters() []string {
+	names := make([]string, 0, len(k.counters))
+	for n := range k.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s=%d", n, k.counters[n])
+	}
+	return out
+}
+
+// Run executes the simulation until virtual time exceeds horizon or no
+// events remain (quiescence). It returns the time at which the run stopped.
+func (k *Kernel) Run(horizon Time) Time {
+	for k.queue.Len() > 0 {
+		if next := k.queue.peek(); next.at > horizon {
+			k.now = horizon
+			break
+		}
+		e := k.queue.pop()
+		k.now = e.at
+		e.fn()
+		if k.stopped {
+			break
+		}
+	}
+	return k.now
+}
+
+// Stop aborts the run at the end of the current event (used by monitors that
+// detected a terminal condition).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// schedule enqueues fn at absolute time t (clamped to be after now).
+func (k *Kernel) schedule(t Time, fn func()) {
+	if t <= k.now {
+		t = k.now + 1
+	}
+	k.seq++
+	k.queue.push(&event{at: t, seq: k.seq, fn: fn})
+}
+
+func (k *Kernel) deliver(m Message) {
+	k.inFlight--
+	pr := k.procs[m.To]
+	if pr.crashed {
+		k.counters["msg.dropped"]++
+		return
+	}
+	h, ok := pr.handlers[m.Port]
+	if !ok {
+		panic(fmt.Sprintf("sim: no handler for port %q at process %d", m.Port, m.To))
+	}
+	k.counters["msg.delivered"]++
+	h(m)
+	k.wake(m.To)
+}
+
+// wake ensures a step event is pending for p, so its guards are re-examined.
+func (k *Kernel) wake(p ProcID) {
+	pr := k.procs[p]
+	if pr.crashed || pr.stepPending {
+		return
+	}
+	pr.stepPending = true
+	gap := Time(1)
+	if k.stepMax > 1 {
+		gap = 1 + Time(k.rng.Int63n(int64(k.stepMax)))
+	}
+	k.schedule(k.now+gap, func() { k.step(pr) })
+}
+
+// step executes at most one enabled action of pr, chosen by rotating through
+// the action list (weak fairness), then reschedules if anything ran.
+func (k *Kernel) step(pr *proc) {
+	pr.stepPending = false
+	if pr.crashed || len(pr.actions) == 0 {
+		return
+	}
+	n := len(pr.actions)
+	for i := 0; i < n; i++ {
+		idx := (pr.rot + i) % n
+		a := pr.actions[idx]
+		if a.Guard() {
+			pr.rot = idx + 1
+			k.counters["steps"]++
+			a.Body()
+			k.wake(pr.id)
+			return
+		}
+	}
+	// No action enabled: go idle until a delivery, timer, or local change
+	// wakes the process again.
+}
+
+func portPrefix(port string) string {
+	for i := 0; i < len(port); i++ {
+		if port[i] == '/' {
+			return port[:i]
+		}
+	}
+	return port
+}

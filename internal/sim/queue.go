@@ -1,0 +1,53 @@
+package sim
+
+import "container/heap"
+
+// event is an internal kernel event: a message delivery, a process step, a
+// timer expiry, or a crash. Events are totally ordered by (at, seq).
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq). The
+// zero value is an empty queue ready to use.
+type eventQueue struct {
+	items []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *eventQueue) push(e *event) { heap.Push(q, e) }
+
+func (q *eventQueue) pop() *event { return heap.Pop(q).(*event) }
+
+func (q *eventQueue) peek() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQueueOrdering: popping returns events in (time, seq) order regardless
+// of push order (property-based).
+func TestQueueOrdering(t *testing.T) {
+	prop := func(times []int16) bool {
+		var q eventQueue
+		for i, tt := range times {
+			q.push(&event{at: Time(tt), seq: int64(i)})
+		}
+		var got []*event
+		for q.Len() > 0 {
+			got = append(got, q.pop())
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueStability: equal-time events pop in insertion (seq) order, which
+// is what makes runs deterministic.
+func TestQueueStability(t *testing.T) {
+	var q eventQueue
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.push(&event{at: 7, seq: int64(i)})
+	}
+	for i := 0; i < n; i++ {
+		if e := q.pop(); e.seq != int64(i) {
+			t.Fatalf("pop %d returned seq %d", i, e.seq)
+		}
+	}
+}
+
+// TestQueuePeek: peek returns the minimum without removing it.
+func TestQueuePeek(t *testing.T) {
+	var q eventQueue
+	if q.peek() != nil {
+		t.Fatal("peek of empty queue should be nil")
+	}
+	q.push(&event{at: 5, seq: 1})
+	q.push(&event{at: 3, seq: 2})
+	if e := q.peek(); e.at != 3 {
+		t.Fatalf("peek returned at=%d, want 3", e.at)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("peek must not remove: len=%d", q.Len())
+	}
+}
+
+// TestQueueMixedWorkload interleaves pushes and pops and checks global
+// sortedness of the pop sequence against a reference sort.
+func TestQueueMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	seq := int64(0)
+	var popped []Time
+	var pushed []Time
+	for op := 0; op < 5000; op++ {
+		if q.Len() == 0 || rng.Intn(3) > 0 {
+			at := Time(rng.Intn(1000))
+			seq++
+			q.push(&event{at: at, seq: seq})
+			pushed = append(pushed, at)
+		} else {
+			popped = append(popped, q.pop().at)
+		}
+	}
+	for q.Len() > 0 {
+		popped = append(popped, q.pop().at)
+	}
+	sort.Slice(pushed, func(i, j int) bool { return pushed[i] < pushed[j] })
+	if len(popped) != len(pushed) {
+		t.Fatalf("lost events: %d vs %d", len(popped), len(pushed))
+	}
+	// The pop sequence is not globally sorted (pops interleave pushes), but
+	// it must be a permutation of what was pushed.
+	sorted := append([]Time(nil), popped...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := range sorted {
+		if sorted[i] != pushed[i] {
+			t.Fatalf("pop multiset differs at %d: %d vs %d", i, sorted[i], pushed[i])
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package sim provides a deterministic discrete-event simulation kernel for
+// asynchronous message-passing distributed systems with crash faults.
+//
+// The execution model follows the technical framework of Sastry, Pike and
+// Welch (SPAA 2009/2010): a finite set of processes execute atomic steps; in
+// each step a process may receive a message, make a state transition, and
+// send messages. Processes are connected by reliable, non-FIFO channels:
+// every message sent to a live process is eventually delivered, and messages
+// are neither lost, duplicated, nor corrupted. Message delay, relative
+// process speed, and scheduling are controlled by a seeded adversary, so a
+// run is fully reproducible from (program, fault schedule, delay policy,
+// seed). A conceptual discrete global clock (virtual time) orders events but
+// is inaccessible to protocol code except through explicit timers.
+//
+// Protocol code is written as guarded-command action systems, matching the
+// paper's presentation: each process owns a set of actions, each with a
+// Guard (a side-effect-free predicate over the process's local state) and a
+// Body (the atomic state transition, which may send messages). The kernel
+// guarantees weak fairness: an action whose guard is continuously enabled at
+// a live process is eventually executed.
+package sim
+
+import "fmt"
+
+// Time is discrete virtual time in ticks. The global clock is a modeling
+// device only; protocol code must not branch on absolute times except via
+// explicit timers (e.g. heartbeat intervals).
+type Time int64
+
+// ProcID identifies a process. Processes are numbered 0..N-1.
+type ProcID int
+
+// Never is a sentinel Time meaning "does not happen".
+const Never Time = -1
+
+// Message is a single protocol message in transit between two processes.
+// Port routes the message to the handler registered under the same name at
+// the destination; composed protocols namespace their ports (for example
+// "dx/3-1/0/fork").
+type Message struct {
+	From    ProcID
+	To      ProcID
+	Port    string
+	Payload any
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("%d->%d %s %v", m.From, m.To, m.Port, m.Payload)
+}
+
+// Record is a structured trace record emitted by the kernel and by protocol
+// modules. Checkers reconstruct runs (eating intervals, suspicion history,
+// crash times) purely from the record stream.
+type Record struct {
+	T    Time   // virtual time of the event
+	Seq  int64  // global sequence number (total order tie-break)
+	P    ProcID // process the event happened at
+	Kind string // event kind, e.g. "state", "suspect", "trust", "crash"
+	Peer ProcID // peer process, when relevant (else -1)
+	Inst string // instance name (table, oracle, module), when relevant
+	Note string // free-form detail, e.g. the new dining state
+}
+
+// Tracer receives every Record emitted during a run.
+type Tracer interface {
+	Trace(Record)
+}
+
+// Handler processes one delivered message as part of an atomic step.
+type Handler func(Message)
+
+// Action is one guarded command of a process's action system.
+type Action struct {
+	Name  string
+	Guard func() bool
+	Body  func()
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// WriteCSV streams the log's records as CSV (header + one row per record),
+// for offline analysis or plotting. Columns: t, seq, proc, kind, peer,
+// inst, note.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "seq", "proc", "kind", "peer", "inst", "note"}); err != nil {
+		return err
+	}
+	for _, r := range l.Records {
+		row := []string{
+			strconv.FormatInt(int64(r.T), 10),
+			strconv.FormatInt(r.Seq, 10),
+			strconv.Itoa(int(r.P)),
+			r.Kind,
+			strconv.Itoa(int(r.Peer)),
+			r.Inst,
+			r.Note,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a log previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return &Log{}, nil
+	}
+	l := &Log{}
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("trace: row %d has %d columns", i+2, len(row))
+		}
+		t, err1 := strconv.ParseInt(row[0], 10, 64)
+		seq, err2 := strconv.ParseInt(row[1], 10, 64)
+		p, err3 := strconv.Atoi(row[2])
+		peer, err4 := strconv.Atoi(row[4])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("trace: row %d has malformed numbers", i+2)
+		}
+		l.Records = append(l.Records, sim.Record{
+			T: sim.Time(t), Seq: seq, P: sim.ProcID(p),
+			Kind: row[3], Peer: sim.ProcID(peer), Inst: row[5], Note: row[6],
+		})
+	}
+	return l, nil
+}

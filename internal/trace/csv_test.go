@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestCSVRoundTrip: write-then-read preserves every record, including ones
+// with commas, quotes and unicode in free-form fields (property-based).
+func TestCSVRoundTrip(t *testing.T) {
+	prop := func(ts []int16, notes []string) bool {
+		l := &Log{}
+		for i, tt := range ts {
+			note := ""
+			if i < len(notes) {
+				note = notes[i]
+			}
+			if strings.ContainsAny(note, "\r") {
+				note = strings.ReplaceAll(note, "\r", "")
+			}
+			l.Trace(sim.Record{
+				T: sim.Time(tt), Seq: int64(i), P: sim.ProcID(i % 5),
+				Kind: "state", Peer: -1, Inst: "a,b\"c", Note: note,
+			})
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return fmt.Sprint(got.Records) == fmt.Sprint(l.Records)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	l := &Log{}
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty round trip: %v %d", err, got.Len())
+	}
+}
+
+func TestCSVMalformed(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("t,seq,proc,kind,peer,inst,note\nx,0,0,k,0,i,n\n")); err == nil {
+		t.Fatal("malformed time accepted")
+	}
+}
+
+// TestSessionsProperties: for random state-change sequences, the extracted
+// sessions per key are disjoint, ordered, and within the observed time
+// range, and at most one is open.
+func TestSessionsProperties(t *testing.T) {
+	states := []string{"thinking", "hungry", "eating", "exiting"}
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 2
+		l := &Log{}
+		tm := sim.Time(0)
+		for i := 0; i < n; i++ {
+			tm += sim.Time(1 + rng.Intn(20))
+			l.Trace(sim.Record{
+				T: tm, Seq: int64(i), P: sim.ProcID(rng.Intn(3)),
+				Kind: KindState, Peer: -1,
+				Inst: []string{"a", "b"}[rng.Intn(2)],
+				Note: states[rng.Intn(len(states))],
+			})
+		}
+		for _, state := range states {
+			for key, ivs := range l.Sessions(state) {
+				_ = key
+				open := 0
+				for i, iv := range ivs {
+					if !iv.Closed() {
+						open++
+						continue
+					}
+					if iv.End <= iv.Start {
+						return false
+					}
+					if i > 0 && ivs[i-1].Closed() && ivs[i-1].End > iv.Start {
+						return false // overlap or disorder
+					}
+				}
+				if open > 1 {
+					return false
+				}
+				if open == 1 && !ivs[len(ivs)-1].Closed() == false {
+					return false // the open one must be last
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
