@@ -1,0 +1,37 @@
+# Standard verification pipeline. `make check` is the everything gate:
+# vet, build, race-enabled tests, and short passes over every fuzz target.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz bench chaos
+
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short passes over the existing fuzz targets; each runs on the corpus plus
+# $(FUZZTIME) of new inputs.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzConsensusSchedules -fuzztime=$(FUZZTIME) ./internal/consensus
+	$(GO) test -run=^$$ -fuzz=FuzzMutexSchedules -fuzztime=$(FUZZTIME) ./internal/mutex
+	$(GO) test -run=^$$ -fuzz=FuzzPairMonitorSchedules -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzForksSchedules -fuzztime=$(FUZZTIME) ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The default chaos campaign: 240 runs over the real dining boxes, exit 1 on
+# any property violation.
+chaos:
+	$(GO) run ./cmd/chaos

@@ -119,6 +119,12 @@ func BenchmarkE15_RoundTrip(b *testing.B) {
 	}
 }
 
+func BenchmarkE16_ChaosSoak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOk(b, experiment.E16ChaosSoak(int64(i)+1))
+	}
+}
+
 // ---- Substrate micro-benchmarks ----
 
 // BenchmarkKernelEvents measures raw event throughput: two processes

@@ -1,0 +1,155 @@
+// Command chaos runs fault-injection campaigns over the dining boxes: it
+// sweeps (box × topology × size × seed × fault plan) under the full checker
+// suite with the kernel watchdog armed, delta-debugs any failure down to a
+// minimal JSON repro artifact, and exits non-zero if a compliant box
+// violated a property.
+//
+// Usage:
+//
+//	chaos                                  # default 240-run campaign
+//	chaos -boxes forks,buggy -plans eating # focused sweep
+//	chaos -shrink -out repros/             # write shrunk artifacts
+//	chaos -replay repros/buggy-eating.json # re-execute one artifact
+//
+// Boxes: forks|token|perfect|trap plus "buggy", a planted-bug forks mutant
+// that sweeps are expected to catch (its failures do not affect the exit
+// status; failing to catch is what -expect-caught turns into an error).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		boxes    = flag.String("boxes", "forks,token,perfect,trap", "comma list of dining boxes (add: buggy)")
+		topos    = flag.String("topologies", "ring,clique,star", "comma list of conflict-graph shapes")
+		sizes    = flag.String("sizes", "4,6", "comma list of diner counts")
+		seeds    = flag.String("seeds", "1,2", "comma list of kernel seeds")
+		plans    = flag.String("plans", "none,single,eating,staggered,minority", "comma list of fault-plan shapes")
+		horizon  = flag.Int64("horizon", 30000, "virtual-time bound per run")
+		shrink   = flag.Bool("shrink", false, "delta-debug each failure to a minimal repro")
+		out      = flag.String("out", "", "directory to write shrunk repro artifacts into (implies -shrink)")
+		replay   = flag.String("replay", "", "replay one repro artifact instead of running a campaign")
+		verbose  = flag.Bool("v", false, "print every run as it finishes")
+		expected = flag.Bool("expect-caught", false, "fail if the buggy box is swept but never caught")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayArtifact(*replay))
+	}
+
+	c := chaos.Campaign{
+		Boxes:      split(*boxes),
+		Topologies: split(*topos),
+		Seeds:      int64List(*seeds),
+		Plans:      split(*plans),
+		Horizon:    sim.Time(*horizon),
+		Delays:     []chaos.DelaySpec{{Kind: "gst", GST: 800, PreMax: 120, PostMax: 8}},
+		Shrink:     *shrink || *out != "",
+	}
+	for _, s := range split(*sizes) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: bad size %q\n", s)
+			os.Exit(2)
+		}
+		c.Sizes = append(c.Sizes, n)
+	}
+	if *verbose {
+		c.Progress = func(r *chaos.Result) {
+			status := "ok"
+			if r.Failed() {
+				status = "FAIL [" + r.Category + "] " + r.First()
+			}
+			fmt.Printf("%-70s %s\n", r.Spec.ID(), status)
+		}
+	}
+
+	rep := c.Run()
+	fmt.Print(rep.Render())
+
+	if *out != "" && len(rep.Repros) > 0 {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		for i, r := range rep.Repros {
+			path := filepath.Join(*out, fmt.Sprintf("repro-%02d-%s.json", i, r.Category))
+			if err := r.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("repro: %s (%s, %d shrink runs)\n", path, r.Spec.ID(), r.ShrinkRuns)
+		}
+	}
+
+	exit := 0
+	if !rep.CompliantClean() {
+		fmt.Fprintln(os.Stderr, "chaos: a compliant box violated a property")
+		exit = 1
+	}
+	if *expected {
+		if st := rep.ByBox["buggy"]; st == nil || st.Failed == 0 {
+			fmt.Fprintln(os.Stderr, "chaos: the planted-bug box was not caught")
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// errorf prefixes "chaos:" only when the error is not already package-tagged.
+func errorf(err error) {
+	if strings.HasPrefix(err.Error(), "chaos:") {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "chaos:", err)
+}
+
+func replayArtifact(path string) int {
+	r, err := chaos.LoadRepro(path)
+	if err != nil {
+		errorf(err)
+		return 2
+	}
+	res, err := r.Replay()
+	if err != nil {
+		errorf(err)
+		return 1
+	}
+	fmt.Printf("replayed %s: [%s] %s\n", r.Spec.ID(), res.Category, res.First())
+	return 0
+}
+
+func split(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func int64List(s string) []int64 {
+	var out []int64
+	for _, f := range split(s) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: bad seed %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -122,17 +122,38 @@ func main() {
 		fmt.Printf("%5d  %5d  %s\n", p, meals, crashed)
 	}
 
+	// Violations against the table's contract drive the exit status: perpetual
+	// exclusion for the ℙWX tables, an exclusive suffix (convergence by 3/4 of
+	// the run) for the ◇WX ones — raw whole-run exclusion counts are reported
+	// but are not failures for ◇WX tables, whose early mistakes are allowed.
+	failed := false
 	rep := checker.Exclusion(log, g, "dine", end)
 	fmt.Printf("\nexclusion violations: %d", len(rep.Violations))
 	if rep.LastViolation != sim.Never {
 		fmt.Printf(" (last ends t=%d)", rep.LastViolation)
 	}
 	fmt.Println()
+	if *table == "perfect" || *table == "mutex" {
+		if _, err := checker.PerpetualWeakExclusion(log, g, "dine", end); err != nil {
+			fmt.Println("perpetual weak exclusion: FAIL:", err)
+			failed = true
+		} else {
+			fmt.Println("perpetual weak exclusion: ok")
+		}
+	} else {
+		if _, err := checker.EventualWeakExclusion(log, g, "dine", end*3/4, end); err != nil {
+			fmt.Println("eventual weak exclusion: FAIL:", err)
+			failed = true
+		} else {
+			fmt.Println("eventual weak exclusion: ok (converged by t=", end*3/4, ")")
+		}
+	}
 	if starved := checker.WaitFreedom(log, "dine", end-3000, end); len(starved) > 0 {
 		fmt.Println("STARVATION:")
 		for _, s := range starved {
 			fmt.Println("  ", s)
 		}
+		failed = true
 	} else {
 		fmt.Println("wait-freedom: ok (no starvation)")
 	}
@@ -182,6 +203,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s (%d records)\n", *csvTrace, log.Len())
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "dinersim: property violations detected")
+		os.Exit(1)
 	}
 }
 

@@ -120,17 +120,22 @@ func main() {
 		}
 	}
 
+	// Any failed property check flips the exit status to non-zero, so scripted
+	// extractions can gate on the oracle's class contract.
+	failed := false
 	pairs := checker.AllPairs(procs)
 	fmt.Println()
 	if class == "T" {
 		if _, err := checker.TrustingAccuracy(log, "x", pairs, true, end*3/4); err != nil {
 			fmt.Println("trusting accuracy: FAIL:", err)
+			failed = true
 		} else {
 			fmt.Println("trusting accuracy: ok")
 		}
 	} else {
 		if _, err := checker.EventualStrongAccuracy(log, "x", pairs, true, end*3/4); err != nil {
 			fmt.Println("eventual strong accuracy: FAIL:", err)
+			failed = true
 		} else {
 			fmt.Println("eventual strong accuracy: ok")
 		}
@@ -138,6 +143,7 @@ func main() {
 	rep, err := checker.StrongCompleteness(log, "x", pairs, true, end*3/4)
 	if err != nil {
 		fmt.Println("strong completeness: FAIL:", err)
+		failed = true
 	} else {
 		fmt.Println("strong completeness: ok")
 	}
@@ -160,4 +166,8 @@ func main() {
 	}
 	fmt.Printf("\nmessages sent=%d delivered=%d dropped=%d\n",
 		k.Counter("msg.sent"), k.Counter("msg.delivered"), k.Counter("msg.dropped"))
+	if failed {
+		fmt.Fprintln(os.Stderr, "extract: property violations detected")
+		os.Exit(1)
+	}
 }

@@ -57,6 +57,7 @@ func main() {
 		{"E13", func() *experiment.Table { return experiment.E13Ablations(*seed) }},
 		{"E14", func() *experiment.Table { return experiment.E14Locality(*seed) }},
 		{"E15", func() *experiment.Table { return experiment.E15RoundTrip(seeds[:min(2, len(seeds))]) }},
+		{"E16", func() *experiment.Table { return experiment.E16ChaosSoak(*seed) }},
 	}
 
 	want := map[string]bool{}

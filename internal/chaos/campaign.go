@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Campaign describes a sweep over the cross product of boxes, topologies,
+// sizes, seeds, delay policies, and fault-plan shapes. Every generated Spec
+// is deterministic in the campaign parameters, so a campaign is itself
+// replayable.
+type Campaign struct {
+	Boxes      []string    // dining boxes to exercise
+	Topologies []string    // conflict-graph shapes
+	Sizes      []int       // diner counts
+	Seeds      []int64     // kernel seeds
+	Horizon    sim.Time    // per-run virtual-time bound
+	Delays     []DelaySpec // delay policies
+	Plans      []string    // fault-plan shapes: none|single|eating|staggered|minority
+	Shrink     bool        // delta-debug every failure down to a Repro
+
+	// Progress, when set, observes every finished run (for CLI output).
+	Progress func(*Result)
+}
+
+// BoxStats aggregates one box's campaign outcomes.
+type BoxStats struct {
+	Runs   int
+	Failed int
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	Runs     int
+	ByBox    map[string]*BoxStats
+	Failures []*Result // failing results (traces stripped to bound memory)
+	Repros   []*Repro  // shrunk counterexamples, when Shrink was on
+}
+
+// CompliantClean reports whether every box other than the planted-bug one
+// came through the campaign without a violation.
+func (r *Report) CompliantClean() bool {
+	for box, st := range r.ByBox {
+		if box != "buggy" && st.Failed > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the per-box table plus failure headlines.
+func (r *Report) Render() string {
+	boxes := make([]string, 0, len(r.ByBox))
+	for b := range r.ByBox {
+		boxes = append(boxes, b)
+	}
+	sort.Strings(boxes)
+	out := fmt.Sprintf("campaign: %d runs\n", r.Runs)
+	for _, b := range boxes {
+		st := r.ByBox[b]
+		out += fmt.Sprintf("  %-8s runs=%-4d violations=%d\n", b, st.Runs, st.Failed)
+	}
+	for _, f := range r.Failures {
+		out += fmt.Sprintf("  FAIL [%s] %s: %s\n", f.Category, f.Spec.ID(), f.First())
+	}
+	return out
+}
+
+// Specs expands the campaign into its run list.
+func (c Campaign) Specs() []Spec {
+	var out []Spec
+	for _, box := range c.Boxes {
+		for _, topo := range c.Topologies {
+			for _, n := range c.Sizes {
+				if topo == "pair" && n != 2 {
+					continue
+				}
+				for _, seed := range c.Seeds {
+					for _, d := range c.Delays {
+						for _, plan := range c.Plans {
+							out = append(out, Spec{
+								Topology: topo,
+								N:        n,
+								Box:      box,
+								Seed:     seed,
+								Horizon:  c.Horizon,
+								Delay:    d,
+								Crashes:  planCrashes(plan, n, c.Horizon, seed),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// planCrashes generates the fault plan of the given shape, deterministically
+// from (plan, n, horizon, seed). Crashes strike inside the first half of the
+// run so that convergence checks in the final quarter are meaningful.
+func planCrashes(plan string, n int, horizon sim.Time, seed int64) []CrashSpec {
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(n)*7919))
+	window := func(lo, hi sim.Time) sim.Time {
+		if hi <= lo {
+			return lo
+		}
+		return lo + sim.Time(rng.Int63n(int64(hi-lo)))
+	}
+	switch plan {
+	case "", "none":
+		return nil
+	case "single":
+		return []CrashSpec{{
+			P:  sim.ProcID(rng.Intn(n)),
+			At: window(horizon/8, horizon/2),
+		}}
+	case "eating":
+		// The state-triggered strike: kill a diner the instant it enters its
+		// (Skip+1)-th eating session — mid-protocol, fork in hand.
+		return []CrashSpec{{
+			P:    sim.ProcID(rng.Intn(n)),
+			When: "eating",
+			Skip: rng.Intn(3),
+		}}
+	case "staggered":
+		f := (n - 1) / 2
+		if f < 1 {
+			f = 1
+		}
+		perm := rng.Perm(n)
+		var out []CrashSpec
+		at := horizon / 10
+		for i := 0; i < f; i++ {
+			out = append(out, CrashSpec{P: sim.ProcID(perm[i]), At: at})
+			at += horizon / 20
+		}
+		return out
+	case "minority":
+		fp := sim.MinorityCrashes(n, horizon/16, horizon/3, rng)
+		var out []CrashSpec
+		for _, cr := range fp.Crashes {
+			out = append(out, CrashSpec{P: cr.P, At: cr.At})
+		}
+		return out
+	}
+	// Unknown shapes surface as invalid specs rather than being dropped
+	// silently: give the spec an out-of-range crash so Execute flags it.
+	return []CrashSpec{{P: -1, At: 0, When: "bad-plan:" + plan}}
+}
+
+// Run executes the whole campaign sequentially (runs are single-threaded by
+// design; determinism beats parallel wall-clock here) and aggregates.
+func (c Campaign) Run() *Report {
+	rep := &Report{ByBox: make(map[string]*BoxStats)}
+	for _, spec := range c.Specs() {
+		res := Execute(spec)
+		rep.Runs++
+		st := rep.ByBox[spec.Box]
+		if st == nil {
+			st = &BoxStats{}
+			rep.ByBox[spec.Box] = st
+		}
+		st.Runs++
+		if res.Failed() {
+			st.Failed++
+			if c.Shrink {
+				if r, err := Shrink(spec); err == nil {
+					rep.Repros = append(rep.Repros, r)
+				}
+			}
+			res.Log = nil // keep the report's memory footprint bounded
+			rep.Failures = append(rep.Failures, res)
+		}
+		if c.Progress != nil {
+			c.Progress(res)
+		}
+	}
+	return rep
+}
+
+// DefaultCampaign is the standard compliant-box soak: every real dining box
+// under every fault-plan shape on the standard topologies. It is the
+// configuration the acceptance test and cmd/chaos default to.
+func DefaultCampaign(horizon sim.Time) Campaign {
+	if horizon <= 0 {
+		horizon = 30000
+	}
+	return Campaign{
+		Boxes:      []string{"forks", "token", "perfect", "trap"},
+		Topologies: []string{"ring", "clique", "star"},
+		Sizes:      []int{4, 6},
+		Seeds:      []int64{1, 2},
+		Horizon:    horizon,
+		Delays:     []DelaySpec{{Kind: "gst", GST: 800, PreMax: 120, PostMax: 8}},
+		Plans:      []string{"none", "single", "eating", "staggered", "minority"},
+	}
+}

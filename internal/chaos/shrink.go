@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Repro is a minimized, replayable counterexample: the smallest spec the
+// shrinker could find that still fails in the same category as the original
+// run, serialized as a JSON artifact. TestReplayRepros replays every
+// artifact under testdata/ and asserts the violation still reproduces, so a
+// committed repro is a permanent regression test.
+type Repro struct {
+	Spec       Spec   `json:"spec"`
+	Category   string `json:"category"`
+	Violation  string `json:"violation"`
+	ShrinkRuns int    `json:"shrink_runs"` // candidate executions the shrinker spent
+}
+
+// maxShrinkRuns caps the shrinker's total candidate executions; delta
+// debugging is heuristic and a near-minimal repro beats an unbounded search.
+const maxShrinkRuns = 200
+
+// Shrink delta-debugs a failing spec to a minimal reproducer: drop crashes,
+// shorten the horizon, simplify the delay policy, and bisect crash trigger
+// times — accepting a candidate only if a fresh execution fails in the same
+// category. It returns an error if the spec does not fail to begin with.
+func Shrink(spec Spec) (*Repro, error) {
+	base := Execute(spec)
+	if !base.Failed() {
+		return nil, fmt.Errorf("chaos: spec %s does not fail; nothing to shrink", spec.ID())
+	}
+	cat := base.Category
+	cur := spec
+	runs := 0
+	// reproduces reports whether cand still fails in the original category,
+	// within the run cap (a blown cap conservatively rejects the candidate).
+	reproduces := func(cand Spec) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		runs++
+		return Execute(cand).Category == cat
+	}
+
+	for changed := true; changed && runs < maxShrinkRuns; {
+		changed = false
+
+		// 1. Drop crashes: all at once if possible, else one at a time.
+		if len(cur.Crashes) > 0 {
+			cand := cur
+			cand.Crashes = nil
+			if reproduces(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		for i := 0; i < len(cur.Crashes); i++ {
+			cand := cur
+			cand.Crashes = append(append([]CrashSpec{}, cur.Crashes[:i]...), cur.Crashes[i+1:]...)
+			if reproduces(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+
+		// 2. Shorten the horizon geometrically.
+		for cur.Horizon/2 >= 1000 {
+			cand := cur
+			cand.Horizon = cur.Horizon / 2
+			if !reproduces(cand) {
+				break
+			}
+			cur = cand
+			changed = true
+		}
+
+		// 3. Simplify the delay policy, simplest first. A failure that
+		// survives under a fixed delay needs no temporal adversary at all.
+		for _, d := range []DelaySpec{
+			{Kind: "fixed", Delay: 4},
+			{Kind: "uniform", Min: 1, Max: 8},
+		} {
+			if cur.Delay == d {
+				break // already at (or below) this rung
+			}
+			cand := cur
+			cand.Delay = d
+			if reproduces(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+
+		// 4. Bisect timed-crash trigger times toward 0 and drop state-trigger
+		// skips: the earliest (simplest) strike that still reproduces.
+		for i := range cur.Crashes {
+			c := cur.Crashes[i]
+			if c.When != "" {
+				if c.Skip > 0 {
+					cand := cur
+					cand.Crashes = append([]CrashSpec{}, cur.Crashes...)
+					cand.Crashes[i].Skip = 0
+					if reproduces(cand) {
+						cur = cand
+						changed = true
+					}
+				}
+				continue
+			}
+			lo, hi := sim.Time(0), c.At
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				cand := cur
+				cand.Crashes = append([]CrashSpec{}, cur.Crashes...)
+				cand.Crashes[i].At = mid
+				if reproduces(cand) {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			if hi < c.At {
+				cur.Crashes = append([]CrashSpec{}, cur.Crashes...)
+				cur.Crashes[i].At = hi
+				changed = true
+			}
+		}
+	}
+
+	final := Execute(cur)
+	if final.Category != cat {
+		// The cap interrupted mid-accept; fall back to the original, which
+		// is known-failing.
+		cur, final = spec, base
+	}
+	return &Repro{
+		Spec:       cur,
+		Category:   cat,
+		Violation:  final.First(),
+		ShrinkRuns: runs,
+	}, nil
+}
+
+// Replay executes the repro's spec and checks it still fails in the
+// recorded category, returning the fresh result.
+func (r *Repro) Replay() (*Result, error) {
+	res := Execute(r.Spec)
+	if res.Category != r.Category {
+		return res, fmt.Errorf("chaos: repro %s replayed to category %q, want %q",
+			r.Spec.ID(), res.Category, r.Category)
+	}
+	return res, nil
+}
+
+// WriteFile serializes the repro as an indented JSON artifact.
+func (r *Repro) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro parses a repro artifact.
+func LoadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("chaos: %s: %v", path, err)
+	}
+	return &r, nil
+}

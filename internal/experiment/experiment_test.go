@@ -35,6 +35,7 @@ func TestAllExperimentsPass(t *testing.T) {
 		{"E13", func() *experiment.Table { return experiment.E13Ablations(1) }},
 		{"E14", func() *experiment.Table { return experiment.E14Locality(1) }},
 		{"E15", func() *experiment.Table { return experiment.E15RoundTrip(seeds[:1]) }},
+		{"E16", func() *experiment.Table { return experiment.E16ChaosSoak(1) }},
 	}
 	for _, c := range cases {
 		c := c

@@ -21,11 +21,38 @@ type FaultPlan struct {
 	Crashes []Crash
 }
 
-// Apply schedules every crash of the plan on k.
-func (fp FaultPlan) Apply(k *Kernel) {
+// Apply validates the plan and schedules every crash on k. A plan with a
+// negative crash time, a process outside 0..N-1, or two crashes of the same
+// process is rejected with an error: double-scheduling a crash would
+// silently distort which CrashAt wins, and a malformed plan in a sweep is a
+// generator bug worth surfacing, not a run to quietly misexecute.
+func (fp FaultPlan) Apply(k *Kernel) error {
+	if err := fp.Validate(k.N()); err != nil {
+		return err
+	}
 	for _, c := range fp.Crashes {
 		k.CrashAt(c.P, c.At)
 	}
+	return nil
+}
+
+// Validate checks the plan against a system of n processes: crash times must
+// be non-negative, processes in range, and no process may crash twice.
+func (fp FaultPlan) Validate(n int) error {
+	seen := make(map[ProcID]bool, len(fp.Crashes))
+	for _, c := range fp.Crashes {
+		if c.At < 0 {
+			return fmt.Errorf("sim: fault plan %q: negative crash time %d for process %d", fp.Name, c.At, c.P)
+		}
+		if c.P < 0 || int(c.P) >= n {
+			return fmt.Errorf("sim: fault plan %q: process %d out of range 0..%d", fp.Name, c.P, n-1)
+		}
+		if seen[c.P] {
+			return fmt.Errorf("sim: fault plan %q: duplicate crash of process %d", fp.Name, c.P)
+		}
+		seen[c.P] = true
+	}
+	return nil
 }
 
 // Faulty returns the set of processes the plan crashes.
@@ -119,23 +146,5 @@ func AllButOne(n int, survivor ProcID, start, gap Time) FaultPlan {
 // every event), the horizon passes, or the event queue drains. It returns
 // the stop time and whether cond was met.
 func (k *Kernel) RunUntil(horizon Time, cond func() bool) (Time, bool) {
-	if cond() {
-		return k.now, true
-	}
-	for k.queue.Len() > 0 {
-		if next := k.queue.peek(); next.at > horizon {
-			k.now = horizon
-			return k.now, false
-		}
-		e := k.queue.pop()
-		k.now = e.at
-		e.fn()
-		if cond() {
-			return k.now, true
-		}
-		if k.stopped {
-			break
-		}
-	}
-	return k.now, cond()
+	return k.runLoop(horizon, cond)
 }

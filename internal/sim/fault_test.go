@@ -59,13 +59,38 @@ func TestMinorityCrashesProperty(t *testing.T) {
 
 func TestFaultPlanApply(t *testing.T) {
 	k := NewKernel(3)
-	StaggeredCrashes([]ProcID{0, 2}, 50, 100).Apply(k)
+	if err := StaggeredCrashes([]ProcID{0, 2}, 50, 100).Apply(k); err != nil {
+		t.Fatal(err)
+	}
 	k.Run(1000)
 	if !k.Crashed(0) || !k.Crashed(2) || k.Crashed(1) {
 		t.Fatal("plan not applied")
 	}
 	if k.CrashTime(0) != 50 || k.CrashTime(2) != 150 {
 		t.Fatalf("crash times: %d %d", k.CrashTime(0), k.CrashTime(2))
+	}
+}
+
+// TestFaultPlanApplyRejectsMalformed: negative times, duplicate crashes and
+// out-of-range processes are errors, and nothing is scheduled.
+func TestFaultPlanApplyRejectsMalformed(t *testing.T) {
+	cases := map[string]FaultPlan{
+		"negative time": {Name: "bad", Crashes: []Crash{{P: 0, At: -5}}},
+		"duplicate":     {Name: "bad", Crashes: []Crash{{P: 1, At: 10}, {P: 1, At: 20}}},
+		"out of range":  {Name: "bad", Crashes: []Crash{{P: 7, At: 10}}},
+		"negative proc": {Name: "bad", Crashes: []Crash{{P: -1, At: 10}}},
+	}
+	for name, fp := range cases {
+		k := NewKernel(3)
+		if err := fp.Apply(k); err == nil {
+			t.Errorf("%s: plan %v accepted", name, fp)
+		}
+		k.Run(1000)
+		for p := 0; p < 3; p++ {
+			if k.Crashed(ProcID(p)) {
+				t.Errorf("%s: crash of %d was scheduled despite the error", name, p)
+			}
+		}
 	}
 }
 

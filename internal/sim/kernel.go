@@ -32,6 +32,14 @@ type Kernel struct {
 	inFlight int
 	counters map[string]int64
 	stopped  bool
+
+	// Robustness hooks (see robust.go).
+	triggers  []*trigger      // armed state-predicate crashes
+	budget    Budget          // run budget; zero fields = unlimited
+	exhausted *BudgetExceeded // set when the watchdog stops the run
+	events    int64           // total events processed
+	tail      []Record        // ring buffer of recent records
+	tailLen   int64           // records ever emitted
 }
 
 // Option configures a Kernel at construction time.
@@ -148,27 +156,36 @@ func (k *Kernel) After(p ProcID, d Time, fn func()) {
 // CrashAt schedules process p to crash at time t: from t on it takes no
 // steps, receives no messages, and fires no timers.
 func (k *Kernel) CrashAt(p ProcID, t Time) {
-	k.schedule(t, func() {
-		pr := k.procs[p]
-		if pr.crashed {
-			return
-		}
-		pr.crashed = true
-		pr.crashedAt = k.now
-		k.Emit(Record{P: p, Kind: "crash", Peer: -1})
-	})
+	k.schedule(t, func() { k.crashNow(p, "") })
+}
+
+// crashNow crashes p immediately; why (may be empty) lands in the crash
+// record's Note for diagnostics.
+func (k *Kernel) crashNow(p ProcID, why string) {
+	pr := k.procs[p]
+	if pr.crashed {
+		return
+	}
+	pr.crashed = true
+	pr.crashedAt = k.now
+	k.Emit(Record{P: p, Kind: "crash", Peer: -1, Note: why})
 }
 
 // Emit records a trace event, stamping it with the current time and a fresh
-// sequence number.
+// sequence number. The record always enters the kernel's diagnostic tail
+// (see Tail); it is forwarded to the Tracer only if one is attached.
 func (k *Kernel) Emit(r Record) {
-	if k.tracer == nil {
-		return
-	}
 	r.T = k.now
 	k.seq++
 	r.Seq = k.seq
-	k.tracer.Trace(r)
+	if k.tail == nil {
+		k.tail = make([]Record, tailCap)
+	}
+	k.tail[k.tailLen%int64(len(k.tail))] = r
+	k.tailLen++
+	if k.tracer != nil {
+		k.tracer.Trace(r)
+	}
 }
 
 // Counter returns a named kernel counter (e.g. "msg.sent", "msg.dropped",
@@ -192,19 +209,43 @@ func (k *Kernel) Counters() []string {
 // Run executes the simulation until virtual time exceeds horizon or no
 // events remain (quiescence). It returns the time at which the run stopped.
 func (k *Kernel) Run(horizon Time) Time {
+	end, _ := k.runLoop(horizon, nil)
+	return end
+}
+
+// runLoop is the shared event loop behind Run and RunUntil. After every
+// event it runs the robustness hooks: armed crash triggers and the budget
+// watchdog. cond (may be nil) is the RunUntil early-exit predicate.
+func (k *Kernel) runLoop(horizon Time, cond func() bool) (Time, bool) {
+	if cond != nil && cond() {
+		return k.now, true
+	}
 	for k.queue.Len() > 0 {
 		if next := k.queue.peek(); next.at > horizon {
 			k.now = horizon
-			break
+			return k.now, false
 		}
 		e := k.queue.pop()
 		k.now = e.at
 		e.fn()
+		k.events++
+		if len(k.triggers) > 0 {
+			k.fireTriggers()
+		}
+		if k.exhausted == nil {
+			k.checkBudget()
+		}
+		if cond != nil && cond() {
+			return k.now, true
+		}
 		if k.stopped {
 			break
 		}
 	}
-	return k.now
+	if cond == nil {
+		return k.now, false
+	}
+	return k.now, cond()
 }
 
 // Stop aborts the run at the end of the current event (used by monitors that

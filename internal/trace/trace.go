@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -52,6 +54,32 @@ func (l *Log) Filter(want sim.Record) []sim.Record {
 		out = append(out, r)
 	}
 	return out
+}
+
+// Hash returns an order-sensitive FNV-1a digest of the full record stream.
+// Two runs of the same (program, topology, fault plan, delay policy, seed)
+// must produce equal hashes — the determinism contract the chaos engine's
+// replayable repro artifacts depend on.
+func (l *Log) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, r := range l.Records {
+		word(int64(r.T))
+		word(r.Seq)
+		word(int64(r.P))
+		word(int64(r.Peer))
+		h.Write([]byte(r.Kind))
+		h.Write([]byte{0})
+		h.Write([]byte(r.Inst))
+		h.Write([]byte{0})
+		h.Write([]byte(r.Note))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // CrashTimes returns the crash time of every process that crashed.
