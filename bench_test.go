@@ -125,6 +125,12 @@ func BenchmarkE16_ChaosSoak(b *testing.B) {
 	}
 }
 
+func BenchmarkE17_LossyLinks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOk(b, experiment.E17LossyLinks(int64(i)+1))
+	}
+}
+
 // ---- Substrate micro-benchmarks ----
 
 // BenchmarkKernelEvents measures raw event throughput: two processes

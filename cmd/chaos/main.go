@@ -10,6 +10,12 @@
 //	chaos -boxes forks,buggy -plans eating # focused sweep
 //	chaos -shrink -out repros/             # write shrunk artifacts
 //	chaos -replay repros/buggy-eating.json # re-execute one artifact
+//	chaos -linkplans loss10,loss30,flaky   # lossy-network sweep (transport on)
+//	chaos -loss 0.3 -dup 0.1 -reorder 16   # ad-hoc fair-lossy link shape
+//
+// Link faults (-loss/-dup/-reorder or the named -linkplans shapes) weaken the
+// channels to fair-lossy links; the reliable transport is enabled
+// automatically whenever link faults are present (override with -transport).
 //
 // Boxes: forks|token|perfect|trap plus "buggy", a planted-bug forks mutant
 // that sweeps are expected to catch (its failures do not affect the exit
@@ -41,6 +47,12 @@ func main() {
 		replay   = flag.String("replay", "", "replay one repro artifact instead of running a campaign")
 		verbose  = flag.Bool("v", false, "print every run as it finishes")
 		expected = flag.Bool("expect-caught", false, "fail if the buggy box is swept but never caught")
+
+		loss      = flag.Float64("loss", 0, "per-message drop probability on every link, [0, 1)")
+		dup       = flag.Float64("dup", 0, "per-message duplication probability, [0, 1]")
+		reorder   = flag.Int64("reorder", 0, "extra per-message delay bound (message reordering)")
+		linkplans = flag.String("linkplans", "", "comma list of named link shapes (none|loss10|loss30|dup|reorder|flaky)")
+		transport = flag.Bool("transport", true, "run boxes over the reliable transport when link faults are on")
 	)
 	flag.Parse()
 
@@ -65,6 +77,24 @@ func main() {
 		}
 		c.Sizes = append(c.Sizes, n)
 	}
+
+	// Link faults: named shapes and/or one ad-hoc shape from -loss/-dup/-reorder.
+	for _, name := range split(*linkplans) {
+		ls, err := chaos.NamedLinkSpec(name, c.Horizon)
+		if err != nil {
+			errorf(err)
+			os.Exit(2)
+		}
+		c.Links = append(c.Links, ls)
+	}
+	if *loss != 0 || *dup != 0 || *reorder != 0 {
+		c.Links = append(c.Links, &chaos.LinkSpec{Drop: *loss, Dup: *dup, Reorder: sim.Time(*reorder)})
+	}
+	anyLossy := false
+	for _, ls := range c.Links {
+		anyLossy = anyLossy || ls != nil
+	}
+	c.Transport = anyLossy && *transport
 	if *verbose {
 		c.Progress = func(r *chaos.Result) {
 			status := "ok"

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	dinersim -topology ring -n 5 -table forks -crash 2@6000 -horizon 40000
+//	dinersim -table token -loss 0.3 -dup 0.1 -reorder 16
 //
 // Tables: forks (WF-◇WX, heartbeat-◇P driven), token (WF-◇WX, circulating
 // token), fair (eventually 2-fair), mutex (wait-free ℙWX with the
 // model-true T+S stand-in), perfect (centralized ℙWX), trap (adversarial
 // WF-◇WX with a mistake era).
+//
+// -loss/-dup/-reorder weaken the channels to fair-lossy links; when any of
+// them is non-zero the reliable transport (internal/transport) is enabled
+// automatically so the table still sees the channel axioms it assumes.
+// Pass -transport=false to run the table over raw lossy links instead, or
+// -transport to add the transport's ack/retransmit machinery to a reliable
+// run.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"repro/internal/mutex"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	transportpkg "repro/internal/transport"
 )
 
 func main() {
@@ -44,8 +53,20 @@ func main() {
 		crashes  = flag.String("crash", "", "comma list of proc@time, e.g. 2@6000,0@9000")
 		era      = flag.Int64("era", 3000, "mistake era for the trap table")
 		csvTrace = flag.String("csvtrace", "", "write the full run trace as CSV to this file")
+
+		loss      = flag.Float64("loss", 0, "per-message drop probability on every link, [0, 1)")
+		dup       = flag.Float64("dup", 0, "per-message duplication probability, [0, 1]")
+		reorder   = flag.Int64("reorder", 0, "extra per-message delay bound (message reordering)")
+		transport = flag.Bool("transport", false, "run over the reliable transport (auto-on with link faults)")
 	)
 	flag.Parse()
+	lossy := *loss != 0 || *dup != 0 || *reorder != 0
+	useTransport := *transport || lossy
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "transport" {
+			useTransport = *transport // explicit flag wins over the auto-on
+		}
+	})
 
 	g, err := buildGraph(*topology, *n, *seed)
 	if err != nil {
@@ -65,16 +86,35 @@ func main() {
 		sim.WithDelay(sim.GSTDelay{GST: sim.Time(*gst), PreMax: 120, PostMax: 8}),
 	)
 
+	if useTransport {
+		transportpkg.Enable(k, "rt", transportpkg.Config{})
+	}
+	if lossy {
+		plan := sim.LinkPlan{Name: "cli", Drop: *loss, Dup: *dup, ReorderMax: sim.Time(*reorder)}
+		if err := plan.Apply(k); err != nil {
+			fmt.Fprintln(os.Stderr, "dinersim:", err)
+			os.Exit(2)
+		}
+	}
+
+	// On a lossy network a dropped heartbeat arrives one retransmission
+	// timeout late; the oracle's timeout must dominate that or every loss is
+	// a false suspicion (see internal/chaos.buildBox).
+	hbCfg := detector.HeartbeatConfig{}
+	if lossy {
+		hbCfg = detector.HeartbeatConfig{Timeout: 240, Bump: 160}
+	}
+
 	var tbl dining.Table
 	switch *table {
 	case "forks":
-		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		oracle := detector.NewHeartbeat(k, "hb", hbCfg)
 		tbl = forks.New(k, g, "dine", oracle, forks.Config{})
 	case "token":
-		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		oracle := detector.NewHeartbeat(k, "hb", hbCfg)
 		tbl = token.New(k, g, "dine", oracle, token.Config{})
 	case "fair":
-		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		oracle := detector.NewHeartbeat(k, "hb", hbCfg)
 		tbl = fairness.New(k, g, "dine", oracle, fairness.Config{})
 	case "mutex":
 		// Model-true stand-in for the T+S composition the FTME needs (see
@@ -174,8 +214,14 @@ func main() {
 			fmt.Printf("failure locality: %d (starved at distances %v)\n", loc.Locality, loc.Starved)
 		}
 	}
-	fmt.Printf("\nmessages sent=%d delivered=%d dropped=%d steps=%d\n",
-		k.Counter("msg.sent"), k.Counter("msg.delivered"), k.Counter("msg.dropped"), k.Counter("steps"))
+	fmt.Printf("\nmessages sent=%d delivered=%d dropped=%d (crash=%d link=%d) steps=%d\n",
+		k.Counter("msg.sent"), k.Counter("msg.delivered"), k.Counter("msg.dropped"),
+		k.Counter("msg.dropped.crash"), k.Counter("msg.dropped.link"), k.Counter("steps"))
+	if useTransport {
+		fmt.Printf("transport sent=%d delivered=%d retransmit=%d dup=%d acks=%d\n",
+			k.Counter("transport.sent"), k.Counter("transport.delivered"),
+			k.Counter("transport.retransmit"), k.Counter("transport.dup"), k.Counter("transport.acks"))
+	}
 
 	// Eating timeline of the final stretch.
 	var rows []trace.TimelineRow

@@ -58,6 +58,7 @@ func main() {
 		{"E14", func() *experiment.Table { return experiment.E14Locality(*seed) }},
 		{"E15", func() *experiment.Table { return experiment.E15RoundTrip(seeds[:min(2, len(seeds))]) }},
 		{"E16", func() *experiment.Table { return experiment.E16ChaosSoak(*seed) }},
+		{"E17", func() *experiment.Table { return experiment.E17LossyLinks(*seed) }},
 	}
 
 	want := map[string]bool{}

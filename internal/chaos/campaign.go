@@ -20,6 +20,8 @@ type Campaign struct {
 	Horizon    sim.Time    // per-run virtual-time bound
 	Delays     []DelaySpec // delay policies
 	Plans      []string    // fault-plan shapes: none|single|eating|staggered|minority
+	Links      []*LinkSpec // link-fault shapes (empty = reliable channels only)
+	Transport  bool        // run every box over the reliable transport
 	Shrink     bool        // delta-debug every failure down to a Repro
 
 	// Progress, when set, observes every finished run (for CLI output).
@@ -69,8 +71,14 @@ func (r *Report) Render() string {
 	return out
 }
 
-// Specs expands the campaign into its run list.
+// Specs expands the campaign into its run list. An empty Links slice sweeps
+// the single reliable-channel configuration, so campaigns written before the
+// link dimension existed expand to exactly the same run list.
 func (c Campaign) Specs() []Spec {
+	links := c.Links
+	if len(links) == 0 {
+		links = []*LinkSpec{nil}
+	}
 	var out []Spec
 	for _, box := range c.Boxes {
 		for _, topo := range c.Topologies {
@@ -81,15 +89,19 @@ func (c Campaign) Specs() []Spec {
 				for _, seed := range c.Seeds {
 					for _, d := range c.Delays {
 						for _, plan := range c.Plans {
-							out = append(out, Spec{
-								Topology: topo,
-								N:        n,
-								Box:      box,
-								Seed:     seed,
-								Horizon:  c.Horizon,
-								Delay:    d,
-								Crashes:  planCrashes(plan, n, c.Horizon, seed),
-							})
+							for _, ls := range links {
+								out = append(out, Spec{
+									Topology:  topo,
+									N:         n,
+									Box:       box,
+									Seed:      seed,
+									Horizon:   c.Horizon,
+									Delay:     d,
+									Crashes:   planCrashes(plan, n, c.Horizon, seed),
+									Links:     ls,
+									Transport: c.Transport,
+								})
+							}
 						}
 					}
 				}
@@ -97,6 +109,34 @@ func (c Campaign) Specs() []Spec {
 		}
 	}
 	return out
+}
+
+// LinkShapes names the canonical link-fault configurations campaigns sweep.
+// The horizon parameterizes the transient-partition window.
+func LinkShapes(horizon sim.Time) map[string]*LinkSpec {
+	if horizon <= 0 {
+		horizon = 30000
+	}
+	return map[string]*LinkSpec{
+		"none":    nil,
+		"loss10":  {Drop: 0.10},
+		"loss30":  {Drop: 0.30},
+		"dup":     {Drop: 0.05, Dup: 0.25},
+		"reorder": {Drop: 0.05, Reorder: 24},
+		"flaky": {
+			Drop: 0.10, Dup: 0.10, Reorder: 12,
+			Windows: []WindowSpec{{Start: horizon / 8, End: horizon / 4, Drop: 1}},
+		},
+	}
+}
+
+// NamedLinkSpec resolves one LinkShapes entry by name.
+func NamedLinkSpec(name string, horizon sim.Time) (*LinkSpec, error) {
+	ls, ok := LinkShapes(horizon)[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown link shape %q", name)
+	}
+	return ls, nil
 }
 
 // planCrashes generates the fault plan of the given shape, deterministically
@@ -197,5 +237,33 @@ func DefaultCampaign(horizon sim.Time) Campaign {
 		Horizon:    horizon,
 		Delays:     []DelaySpec{{Kind: "gst", GST: 800, PreMax: 120, PostMax: 8}},
 		Plans:      []string{"none", "single", "eating", "staggered", "minority"},
+	}
+}
+
+// DefaultLinkCampaign is the lossy-network soak: every real dining box over
+// the reliable transport, under every named non-trivial link shape crossed
+// with crash plans — 4 boxes × 2 topologies × 1 size × 2 seeds × 3 crash
+// plans × 5 link shapes = 240 runs. Loss reaches 30%, duplication and
+// reordering are both exercised, and the flaky shape adds a transient total
+// partition; the acceptance criterion is that all four boxes come through
+// clean because the transport restores the channel axioms they assume.
+func DefaultLinkCampaign(horizon sim.Time) Campaign {
+	if horizon <= 0 {
+		horizon = 30000
+	}
+	shapes := LinkShapes(horizon)
+	return Campaign{
+		Boxes:      []string{"forks", "token", "perfect", "trap"},
+		Topologies: []string{"ring", "star"},
+		Sizes:      []int{4},
+		Seeds:      []int64{1, 2},
+		Horizon:    horizon,
+		Delays:     []DelaySpec{{Kind: "gst", GST: 800, PreMax: 120, PostMax: 8}},
+		Plans:      []string{"none", "single", "eating"},
+		Links: []*LinkSpec{
+			shapes["loss10"], shapes["loss30"], shapes["dup"],
+			shapes["reorder"], shapes["flaky"],
+		},
+		Transport: true,
 	}
 }

@@ -36,6 +36,13 @@ type Spec struct {
 	Crashes  []CrashSpec `json:"crashes,omitempty"` // fault plan (time- or state-triggered)
 	Era      sim.Time    `json:"era,omitempty"`     // trap box mistake era (default horizon/8)
 
+	// Links, when non-nil, installs the fair-lossy link adversary; Transport
+	// runs every box and oracle over the retransmitting reliable transport
+	// (internal/transport), which is what keeps lossy runs within the
+	// paper's channel axioms.
+	Links     *LinkSpec `json:"links,omitempty"`
+	Transport bool      `json:"transport,omitempty"`
+
 	// Budget overrides the default watchdog budget (zero fields inherit the
 	// defaults Execute derives from N and Horizon).
 	Budget BudgetSpec `json:"budget,omitempty"`
@@ -75,6 +82,53 @@ func (d DelaySpec) String() string {
 		return fmt.Sprintf("gst(%d,pre=%d,post=%d)", d.GST, d.PreMax, d.PostMax)
 	}
 	return d.Kind
+}
+
+// LinkSpec selects a sim.LinkPlan declaratively: steady-state loss,
+// duplication, bounded reordering, and transient lossy windows.
+type LinkSpec struct {
+	Drop    float64      `json:"drop,omitempty"`    // per-message drop probability, [0, 1)
+	Dup     float64      `json:"dup,omitempty"`     // duplication probability, [0, 1]
+	Reorder sim.Time     `json:"reorder,omitempty"` // extra delay bound (reordering)
+	Windows []WindowSpec `json:"windows,omitempty"` // transient lossy eras
+}
+
+// WindowSpec is one transient lossy era of a LinkSpec.
+type WindowSpec struct {
+	Start sim.Time     `json:"start"`
+	End   sim.Time     `json:"end"`
+	Drop  float64      `json:"drop"`
+	Side  []sim.ProcID `json:"side,omitempty"` // partition side; empty = all links
+}
+
+// Plan materializes the sim.LinkPlan. A nil spec is the reliable-channel
+// world.
+func (l *LinkSpec) Plan() sim.LinkPlan {
+	if l == nil {
+		return sim.NoLinkFaults()
+	}
+	lp := sim.LinkPlan{Name: "chaos", Drop: l.Drop, Dup: l.Dup, ReorderMax: l.Reorder}
+	for _, w := range l.Windows {
+		lp.Windows = append(lp.Windows, sim.LossyWindow{Start: w.Start, End: w.End, Drop: w.Drop, Side: w.Side})
+	}
+	return lp
+}
+
+func (l *LinkSpec) String() string {
+	if l == nil {
+		return "reliable"
+	}
+	s := fmt.Sprintf("loss%.2f", l.Drop)
+	if l.Dup > 0 {
+		s += fmt.Sprintf("+dup%.2f", l.Dup)
+	}
+	if l.Reorder > 0 {
+		s += fmt.Sprintf("+ro%d", l.Reorder)
+	}
+	if len(l.Windows) > 0 {
+		s += fmt.Sprintf("+%dwin", len(l.Windows))
+	}
+	return s
 }
 
 // CrashSpec is one fault of a plan. With When empty it is a plain timed
@@ -153,6 +207,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("chaos: crash %v: unknown trigger state %q", c, c.When)
 		}
 	}
+	if s.Links != nil {
+		plan := s.Links.Plan()
+		if err := plan.Validate(s.N); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -178,7 +238,14 @@ func (s Spec) ID() string {
 	if crashes == "" {
 		crashes = "none"
 	}
-	return fmt.Sprintf("%s/%s%d/seed%d/h%d/%s/%s", s.Box, s.Topology, s.N, s.Seed, s.Horizon, s.Delay, crashes)
+	id := fmt.Sprintf("%s/%s%d/seed%d/h%d/%s/%s", s.Box, s.Topology, s.N, s.Seed, s.Horizon, s.Delay, crashes)
+	if s.Links != nil {
+		id += "/" + s.Links.String()
+	}
+	if s.Transport {
+		id += "/rt"
+	}
+	return id
 }
 
 // MarshalIndent renders the spec as the JSON stored in repro artifacts.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Violation categories, ordered by severity. Category is the shrinker's
@@ -76,6 +77,20 @@ func Execute(spec Spec) *Result {
 		sim.WithDelay(policy),
 	)
 	res.Log = log
+
+	// Network model, outermost first: the transport hook (so every protocol
+	// send is wrapped) and then the link adversary underneath it. Both are
+	// armed before the box exists, so no protocol message escapes either.
+	if spec.Transport {
+		transport.Enable(k, "rt", transport.Config{})
+	}
+	if spec.Links != nil {
+		if err := spec.Links.Plan().Apply(k); err != nil {
+			res.Category = CatPanic
+			res.Violations = []string{err.Error()}
+			return res
+		}
+	}
 
 	tbl, err := buildBox(k, g, spec)
 	if err != nil {
@@ -153,12 +168,21 @@ func buildBox(k *sim.Kernel, g *graph.Graph, spec Spec) (dining.Table, error) {
 	if era <= 0 {
 		era = spec.Horizon / 8
 	}
+	// Deployment tuning for lossy networks: the transport restores reliable
+	// delivery but not timeliness — a dropped heartbeat arrives one
+	// retransmission timeout (or a few, under a loss streak) late. The
+	// oracle's partial-synchrony parameters must dominate that, or every
+	// loss is a false suspicion that eats horizon converging away.
+	hb := detector.HeartbeatConfig{}
+	if spec.Links != nil {
+		hb = detector.HeartbeatConfig{Timeout: 240, Bump: 160}
+	}
 	switch spec.Box {
 	case "forks":
-		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		oracle := detector.NewHeartbeat(k, "hb", hb)
 		return forks.New(k, g, "dine", oracle, forks.Config{}), nil
 	case "token":
-		oracle := detector.NewHeartbeat(k, "hb", detector.HeartbeatConfig{})
+		oracle := detector.NewHeartbeat(k, "hb", hb)
 		return token.New(k, g, "dine", oracle, token.Config{}), nil
 	case "perfect":
 		return perfect.New(k, g, "dine", sim.ProcID(g.N())), nil

@@ -68,6 +68,59 @@ func Shrink(spec Spec) (*Repro, error) {
 			}
 		}
 
+		// 1b. Minimize link faults: no links at all, then no transport, then
+		// peel features off the surviving LinkSpec — windows one at a time,
+		// duplication, reordering, and finally halve the drop rate while the
+		// failure survives. A repro that still fails over reliable channels
+		// should say so.
+		if cur.Links != nil {
+			cand := cur
+			cand.Links = nil
+			if reproduces(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		if cur.Links == nil && cur.Transport {
+			cand := cur
+			cand.Transport = false
+			if reproduces(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		if l := cur.Links; l != nil {
+			for i := 0; i < len(l.Windows); i++ {
+				cand := cur
+				cl := *l
+				cl.Windows = append(append([]WindowSpec{}, l.Windows[:i]...), l.Windows[i+1:]...)
+				cand.Links = &cl
+				if reproduces(cand) {
+					cur = cand
+					l = cur.Links
+					changed = true
+					i--
+				}
+			}
+			for _, strip := range []func(*LinkSpec) bool{
+				func(s *LinkSpec) bool { ok := s.Dup > 0; s.Dup = 0; return ok },
+				func(s *LinkSpec) bool { ok := s.Reorder > 0; s.Reorder = 0; return ok },
+				func(s *LinkSpec) bool { ok := s.Drop > 0.01; s.Drop /= 2; return ok },
+			} {
+				cl := *cur.Links
+				cl.Windows = append([]WindowSpec{}, cur.Links.Windows...)
+				if !strip(&cl) {
+					continue
+				}
+				cand := cur
+				cand.Links = &cl
+				if reproduces(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+
 		// 2. Shorten the horizon geometrically.
 		for cur.Horizon/2 >= 1000 {
 			cand := cur

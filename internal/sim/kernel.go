@@ -32,6 +32,8 @@ type Kernel struct {
 	inFlight int
 	counters map[string]int64
 	stopped  bool
+	links    *LinkPlan // fair-lossy link adversary (nil = reliable channels)
+	sendHook SendHook  // transport interposition (see SetSendHook)
 
 	// Robustness hooks (see robust.go).
 	triggers  []*trigger      // armed state-predicate crashes
@@ -122,11 +124,39 @@ func (k *Kernel) Handle(p ProcID, port string, h Handler) {
 	pr.handlers[port] = h
 }
 
-// Send transmits a message on a reliable non-FIFO channel. Delivery is
-// scheduled according to the delay policy; messages to processes that have
-// crashed by delivery time are dropped (the paper only guarantees delivery
-// to correct processes).
+// SendHook intercepts protocol-level sends (see SetSendHook). Returning true
+// means the hook consumed the message and will arrange its delivery itself
+// (typically by re-sending wrapped envelopes through RawSend); returning
+// false lets the kernel transmit it directly.
+type SendHook func(Message) bool
+
+// SetSendHook installs (or, with nil, removes) a send interceptor. It exists
+// for internal/transport: with a hook installed, every Send from protocol
+// code can be transparently wrapped in a reliable-delivery envelope without
+// the protocol modules changing at all. RawSend bypasses the hook, which is
+// how the transport's own envelopes avoid being re-intercepted.
+func (k *Kernel) SetSendHook(h SendHook) { k.sendHook = h }
+
+// Send transmits a message on the simulated network. Over the default
+// reliable non-FIFO channels delivery is scheduled according to the delay
+// policy; under an installed LinkPlan the message may additionally be
+// dropped, duplicated, or further delayed at delivery time. Messages to
+// processes that have crashed by delivery time are dropped (the paper only
+// guarantees delivery to correct processes). If a SendHook is installed and
+// consumes the message, nothing is transmitted here — the hook's transport
+// owns delivery from that point on.
 func (k *Kernel) Send(from, to ProcID, port string, payload any) {
+	m := Message{From: from, To: to, Port: port, Payload: payload}
+	if k.sendHook != nil && k.sendHook(m) {
+		return
+	}
+	k.RawSend(from, to, port, payload)
+}
+
+// RawSend transmits a message directly on the simulated links, bypassing any
+// installed SendHook. Protocol code should use Send; RawSend exists for the
+// transport layer underneath it.
+func (k *Kernel) RawSend(from, to ProcID, port string, payload any) {
 	k.counters["msg.sent"]++
 	k.counters["msg.sent:"+portPrefix(port)]++
 	m := Message{From: from, To: to, Port: port, Payload: payload}
@@ -134,8 +164,29 @@ func (k *Kernel) Send(from, to ProcID, port string, payload any) {
 	if d < 1 {
 		d = 1
 	}
+	d += k.reorderExtra()
 	k.inFlight++
-	k.schedule(k.now+d, func() { k.deliver(m) })
+	k.schedule(k.now+d, func() { k.linkArrive(m) })
+}
+
+// Dispatch synchronously invokes the handler registered for m.Port at m.To,
+// as if the message had just been delivered by the network, and wakes the
+// receiving process. Messages to crashed processes are dropped. It exists
+// for the transport layer, which receives wire envelopes on its own port and
+// hands the restored protocol message to the original handler.
+func (k *Kernel) Dispatch(m Message) {
+	pr := k.procs[m.To]
+	if pr.crashed {
+		k.counters["msg.dropped"]++
+		k.counters["msg.dropped.crash"]++
+		return
+	}
+	h, ok := pr.handlers[m.Port]
+	if !ok {
+		panic(fmt.Sprintf("sim: no handler for port %q at process %d", m.Port, m.To))
+	}
+	h(m)
+	k.wake(m.To)
 }
 
 // After schedules fn to run at process p after d ticks (a local timer). The
@@ -189,8 +240,15 @@ func (k *Kernel) Emit(r Record) {
 }
 
 // Counter returns a named kernel counter (e.g. "msg.sent", "msg.dropped",
-// "steps", "msg.sent:dx").
+// "steps", "msg.sent:dx"). "msg.dropped" is the sum of its two causes,
+// "msg.dropped.crash" (receiver dead at delivery time) and
+// "msg.dropped.link" (eaten by the link adversary).
 func (k *Kernel) Counter(name string) int64 { return k.counters[name] }
+
+// Count adds delta to a named kernel counter. It exists so layered modules
+// (the transport, chiefly) can account into the same table that Counters
+// reports and experiments read.
+func (k *Kernel) Count(name string, delta int64) { k.counters[name] += delta }
 
 // Counters returns a sorted snapshot of all counters.
 func (k *Kernel) Counters() []string {
@@ -266,6 +324,7 @@ func (k *Kernel) deliver(m Message) {
 	pr := k.procs[m.To]
 	if pr.crashed {
 		k.counters["msg.dropped"]++
+		k.counters["msg.dropped.crash"]++
 		return
 	}
 	h, ok := pr.handlers[m.Port]

@@ -6,7 +6,10 @@
 // each step a process may receive a message, make a state transition, and
 // send messages. Processes are connected by reliable, non-FIFO channels:
 // every message sent to a live process is eventually delivered, and messages
-// are neither lost, duplicated, nor corrupted. Message delay, relative
+// are neither lost, duplicated, nor corrupted. (A LinkPlan — see link.go —
+// optionally weakens the channels to fair-lossy links that drop, duplicate,
+// and reorder; internal/transport rebuilds the reliable-channel axioms on
+// top of them.) Message delay, relative
 // process speed, and scheduling are controlled by a seeded adversary, so a
 // run is fully reproducible from (program, fault schedule, delay policy,
 // seed). A conceptual discrete global clock (virtual time) orders events but
@@ -32,6 +35,11 @@ type ProcID int
 
 // Never is a sentinel Time meaning "does not happen".
 const Never Time = -1
+
+// KindLink is the Record kind emitted by the fair-lossy link adversary when
+// it perturbs a message (Note is "drop" or "dup", Peer the sender, Inst the
+// port prefix of the affected message).
+const KindLink = "link"
 
 // Message is a single protocol message in transit between two processes.
 // Port routes the message to the handler registered under the same name at

@@ -1,0 +1,261 @@
+// Package transport restores the paper's reliable-channel axioms on top of
+// the kernel's fair-lossy links (sim.LinkPlan): exactly-once delivery of
+// every protocol message to every correct destination, with no protocol
+// module changing a line.
+//
+// Mechanism — the classic simulation of reliable channels over fair-lossy
+// links (cf. Aspnes's lecture notes; the retransmit-until-ack "stubborn
+// link" plus sequence-number deduplication): Enable installs a sim.SendHook,
+// so every protocol-level Send is intercepted and wrapped into a sequenced
+// envelope on the transport's own wire port. Per ordered process pair the
+// sender keeps the unacknowledged window and retransmits it with exponential
+// backoff (capped), the receiver suppresses duplicates with a cumulative
+// watermark plus a sparse out-of-order set, acks cumulatively, and hands
+// each fresh payload to the handler the protocol registered for its original
+// port (sim.Kernel.Dispatch). Because fair-lossy links deliver a message
+// sent infinitely often infinitely often, and retransmission stops only on
+// acknowledgement, every wrapped message reaches a correct destination
+// exactly once — the channel contract internal/detector, internal/core and
+// the dining boxes were written against. The transport is quiescent: once
+// everything outstanding is acked, no further wire traffic is generated for
+// it.
+//
+// All timing comes from kernel timers and all randomness from the kernel's
+// seeded source (the transport itself uses none), so runs over the transport
+// are exactly as deterministic and replayable as runs without it.
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config tunes retransmission. The zero value gives usable defaults.
+type Config struct {
+	// RTO is the initial retransmission timeout for a fresh window (default
+	// 40 ticks — a little above one round trip under the default delay
+	// policies, so acks usually win the race).
+	RTO sim.Time
+	// RTOMax caps the exponential backoff (default 640). The cap keeps a
+	// retransmitting sender probing a silent peer at a bounded, non-zero
+	// rate: messages to a crashed process are retransmitted forever (the
+	// channel axiom only promises delivery to correct processes — nothing
+	// here may guess at crashes), but never faster than once per RTOMax.
+	RTOMax sim.Time
+	// Window bounds how many unacked messages one retransmission burst
+	// re-sends, oldest first (default 64). It bounds the burst a long-dead
+	// destination can provoke; liveness is unaffected because acks always
+	// advance the window from the oldest end.
+	Window int
+}
+
+func (c *Config) defaults() {
+	if c.RTO <= 0 {
+		c.RTO = 40
+	}
+	if c.RTOMax <= 0 {
+		c.RTOMax = 640
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+}
+
+// dataMsg is the wire envelope of one protocol message.
+type dataMsg struct {
+	Seq     int64
+	Port    string // the protocol port the payload is addressed to
+	Payload any
+}
+
+// ackMsg acknowledges receipt: everything up to Cum, plus Seq itself (which
+// may be ahead of the watermark).
+type ackMsg struct {
+	Cum int64
+	Seq int64
+}
+
+// flight is one unacknowledged envelope with its last transmission time.
+type flight struct {
+	env dataMsg
+	at  sim.Time
+}
+
+// sender is the outbound state for one ordered pair (from -> to).
+type sender struct {
+	next    int64              // last assigned sequence number
+	unacked map[int64]*flight  // in flight, keyed by sequence number
+	rto     sim.Time           // current backoff
+	armed   bool               // retransmission timer pending
+}
+
+// receiver is the inbound state for one ordered pair (from -> to).
+type receiver struct {
+	cum   int64          // every seq <= cum has been delivered
+	above map[int64]bool // delivered seqs beyond the watermark
+}
+
+// Reliable is the transport instance attached to one kernel.
+type Reliable struct {
+	k    *sim.Kernel
+	name string
+	cfg  Config
+	out  map[[2]sim.ProcID]*sender
+	in   map[[2]sim.ProcID]*receiver
+}
+
+// Enable attaches a reliable transport named name to k: it registers the
+// wire ports name+"/data" and name+"/ack" at every process and installs the
+// send hook. From this call on, every k.Send made by protocol code travels
+// through the transport; the kernel's RawSend remains the unreliable
+// underlay. Counters (all via k.Counter): "transport.sent" (protocol
+// messages accepted), "transport.retransmit" (wire re-sends),
+// "transport.delivered" (exactly-once handoffs), "transport.dup" (duplicate
+// envelopes suppressed), "transport.acks" (acks sent).
+func Enable(k *sim.Kernel, name string, cfg Config) *Reliable {
+	cfg.defaults()
+	t := &Reliable{
+		k: k, name: name, cfg: cfg,
+		out: make(map[[2]sim.ProcID]*sender),
+		in:  make(map[[2]sim.ProcID]*receiver),
+	}
+	data, ack := name+"/data", name+"/ack"
+	for i := 0; i < k.N(); i++ {
+		p := sim.ProcID(i)
+		k.Handle(p, data, func(m sim.Message) { t.onData(p, m) })
+		k.Handle(p, ack, func(m sim.Message) { t.onAck(p, m) })
+	}
+	k.SetSendHook(func(m sim.Message) bool {
+		t.send(m)
+		return true
+	})
+	return t
+}
+
+// Name returns the transport's port namespace.
+func (t *Reliable) Name() string { return t.name }
+
+// send accepts one protocol message, assigns it a sequence number, ships the
+// first copy, and arms retransmission.
+func (t *Reliable) send(m sim.Message) {
+	key := [2]sim.ProcID{m.From, m.To}
+	s := t.out[key]
+	if s == nil {
+		s = &sender{unacked: make(map[int64]*flight), rto: t.cfg.RTO}
+		t.out[key] = s
+	}
+	s.next++
+	env := dataMsg{Seq: s.next, Port: m.Port, Payload: m.Payload}
+	s.unacked[env.Seq] = &flight{env: env, at: t.k.Now()}
+	t.k.Count("transport.sent", 1)
+	t.k.RawSend(m.From, m.To, t.name+"/data", env)
+	t.arm(key, s)
+}
+
+// arm schedules the retransmission check for this pair if none is pending.
+// The timer lives at the sending process, so it dies with it.
+func (t *Reliable) arm(key [2]sim.ProcID, s *sender) {
+	if s.armed {
+		return
+	}
+	s.armed = true
+	t.k.After(key[0], s.rto, func() { t.fire(key, s) })
+}
+
+// fire is the retransmission timeout: re-send the oldest window of unacked
+// envelopes that have gone a full RTO without an ack, back off exponentially
+// up to the cap, and re-arm while anything is outstanding. An empty window
+// disarms and resets the backoff — the quiescence point.
+func (t *Reliable) fire(key [2]sim.ProcID, s *sender) {
+	s.armed = false
+	if len(s.unacked) == 0 {
+		s.rto = t.cfg.RTO
+		return
+	}
+	// Deterministic order: map iteration order must never leak into the
+	// event schedule. Only envelopes whose last transmission is at least one
+	// RTO old are eligible — a message sent the very tick the timer fires
+	// has had no chance to be acked yet.
+	now := t.k.Now()
+	seqs := make([]int64, 0, len(s.unacked))
+	for seq, f := range s.unacked {
+		if now-f.at >= s.rto {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	if len(seqs) > t.cfg.Window {
+		seqs = seqs[:t.cfg.Window]
+	}
+	for _, seq := range seqs {
+		f := s.unacked[seq]
+		f.at = now
+		t.k.Count("transport.retransmit", 1)
+		t.k.RawSend(key[0], key[1], t.name+"/data", f.env)
+	}
+	if len(seqs) > 0 {
+		if s.rto *= 2; s.rto > t.cfg.RTOMax {
+			s.rto = t.cfg.RTOMax
+		}
+	}
+	t.arm(key, s)
+}
+
+// onData handles one wire envelope at the destination: ack it, suppress it
+// if already seen, otherwise advance the watermark and hand the payload to
+// the protocol handler registered for its original port.
+func (t *Reliable) onData(p sim.ProcID, m sim.Message) {
+	env := m.Payload.(dataMsg)
+	key := [2]sim.ProcID{m.From, p}
+	r := t.in[key]
+	if r == nil {
+		r = &receiver{above: make(map[int64]bool)}
+		t.in[key] = r
+	}
+	fresh := env.Seq > r.cum && !r.above[env.Seq]
+	if fresh {
+		r.above[env.Seq] = true
+		for r.above[r.cum+1] {
+			r.cum++
+			delete(r.above, r.cum)
+		}
+	} else {
+		t.k.Count("transport.dup", 1)
+	}
+	// Always ack, even duplicates: the first ack may have been lost.
+	t.k.Count("transport.acks", 1)
+	t.k.RawSend(p, m.From, t.name+"/ack", ackMsg{Cum: r.cum, Seq: env.Seq})
+	if fresh {
+		t.k.Count("transport.delivered", 1)
+		t.k.Dispatch(sim.Message{From: m.From, To: p, Port: env.Port, Payload: env.Payload})
+	}
+}
+
+// onAck clears acknowledged envelopes from the sender window. Progress
+// resets the backoff; a drained window goes quiescent at the next fire.
+func (t *Reliable) onAck(p sim.ProcID, m sim.Message) {
+	a := m.Payload.(ackMsg)
+	s := t.out[[2]sim.ProcID{p, m.From}]
+	if s == nil {
+		return
+	}
+	before := len(s.unacked)
+	for seq := range s.unacked {
+		if seq <= a.Cum || seq == a.Seq {
+			delete(s.unacked, seq)
+		}
+	}
+	if len(s.unacked) < before {
+		s.rto = t.cfg.RTO
+	}
+}
+
+// Outstanding reports the number of unacknowledged envelopes from p to q —
+// 0 for a quiescent pair (tests and metrics).
+func (t *Reliable) Outstanding(p, q sim.ProcID) int {
+	if s := t.out[[2]sim.ProcID{p, q}]; s != nil {
+		return len(s.unacked)
+	}
+	return 0
+}
