@@ -29,8 +29,20 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzForksSchedules -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzLinkPlanValidate -fuzztime=$(FUZZTIME) ./internal/sim
 
+# Performance trajectory: run the substrate micro-benchmarks and the E*
+# experiment benches, and convert each set to a JSON artifact via
+# cmd/bench2json. The previously committed artifact is embedded as the
+# baseline, so every BENCH_*.json carries its own before/after deltas
+# (ns/op, allocs/op, deliveries/op, campaign wall-clock + speedup). CI
+# archives both files per commit.
+KERNEL_BENCH := BenchmarkKernel|BenchmarkForksTable|BenchmarkPairMonitor|BenchmarkHeartbeatOracle|BenchmarkCheckerExclusion
+EXPERIMENT_BENCH := BenchmarkE[0-9]|BenchmarkCampaignParallel
+
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem . \
+		| $(GO) run ./cmd/bench2json -baseline BENCH_kernel.json -o BENCH_kernel.json
+	$(GO) test -run '^$$' -bench '$(EXPERIMENT_BENCH)' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/bench2json -baseline BENCH_experiments.json -o BENCH_experiments.json
 
 # The default chaos campaign: 240 runs over the real dining boxes, exit 1 on
 # any property violation.

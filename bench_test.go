@@ -8,8 +8,11 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/detector"
@@ -129,6 +132,35 @@ func BenchmarkE17_LossyLinks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		requireOk(b, experiment.E17LossyLinks(int64(i)+1))
 	}
+}
+
+// BenchmarkCampaignParallel measures the parallel sweep runner on the
+// 240-run DefaultLinkCampaign (at a reduced horizon so one iteration stays
+// in whole seconds): the same campaign executes once sequentially and once
+// at GOMAXPROCS workers, the reports are asserted identical, and the
+// sequential/parallel wall-clock ratio lands in the "speedup" metric. On a
+// single-CPU machine the expected speedup is ~1.0; the metric exists to
+// track scaling on wider hardware in the bench trajectory.
+func BenchmarkCampaignParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	var seqTotal, parTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		c := chaos.DefaultLinkCampaign(6000)
+		c.Parallel = 1
+		t0 := time.Now()
+		seq := c.Run()
+		seqTotal += time.Since(t0)
+		c.Parallel = workers
+		t0 = time.Now()
+		par := c.Run()
+		parTotal += time.Since(t0)
+		if seq.Render() != par.Render() {
+			b.Fatalf("parallel report diverged from sequential:\nseq:\n%s\npar:\n%s",
+				seq.Render(), par.Render())
+		}
+	}
+	b.ReportMetric(seqTotal.Seconds()/parTotal.Seconds(), "speedup")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // ---- Substrate micro-benchmarks ----

@@ -12,6 +12,12 @@
 //	chaos -replay repros/buggy-eating.json # re-execute one artifact
 //	chaos -linkplans loss10,loss30,flaky   # lossy-network sweep (transport on)
 //	chaos -loss 0.3 -dup 0.1 -reorder 16   # ad-hoc fair-lossy link shape
+//	chaos -parallel 1                      # force sequential execution
+//
+// Campaign runs fan out over -parallel workers (default GOMAXPROCS). Runs
+// are independent and individually deterministic, and results are aggregated
+// in sweep order, so the report — including -v output, failure lists, and
+// shrunk repros — is byte-identical at any worker count.
 //
 // Link faults (-loss/-dup/-reorder or the named -linkplans shapes) weaken the
 // channels to fair-lossy links; the reliable transport is enabled
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -47,6 +54,7 @@ func main() {
 		replay   = flag.String("replay", "", "replay one repro artifact instead of running a campaign")
 		verbose  = flag.Bool("v", false, "print every run as it finishes")
 		expected = flag.Bool("expect-caught", false, "fail if the buggy box is swept but never caught")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for campaign runs (1 = sequential); the report is identical either way")
 
 		loss      = flag.Float64("loss", 0, "per-message drop probability on every link, [0, 1)")
 		dup       = flag.Float64("dup", 0, "per-message duplication probability, [0, 1]")
@@ -68,6 +76,7 @@ func main() {
 		Horizon:    sim.Time(*horizon),
 		Delays:     []chaos.DelaySpec{{Kind: "gst", GST: 800, PreMax: 120, PostMax: 8}},
 		Shrink:     *shrink || *out != "",
+		Parallel:   *parallel,
 	}
 	for _, s := range split(*sizes) {
 		n, err := strconv.Atoi(s)

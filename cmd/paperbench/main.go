@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	paperbench [-run E1,E3] [-seed N] [-quick]
+//	paperbench [-run E1,E3] [-seed N] [-quick] [-parallel N]
+//
+// Experiments fan out over -parallel workers (default GOMAXPROCS), both
+// across experiments and inside each experiment's seed/config sweep; each
+// table's output is buffered and flushed in experiment order, so the printed
+// report is byte-identical at any worker count.
 //
 // Exit status 1 if any experiment observed a property violation.
 package main
@@ -14,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -25,7 +32,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "smaller seed sets and sizes")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiments (1 = sequential); output is identical either way")
 	flag.Parse()
+	experiment.Workers = *parallel
 
 	seeds := []int64{*seed, *seed + 1, *seed + 2}
 	sizes := []int{2, 3, 4}
@@ -68,12 +77,20 @@ func main() {
 		}
 	}
 
-	failed := false
+	var selected []func() *experiment.Table
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		tbl := e.fn()
+		selected = append(selected, e.fn)
+	}
+
+	// Experiments run concurrently; each table is rendered on its worker and
+	// the buffered output flushed in experiment order by the ordered consumer.
+	failed := false
+	par.MapOrdered(*parallel, len(selected), func(i int) *experiment.Table {
+		return selected[i]()
+	}, func(i int, tbl *experiment.Table) {
 		fmt.Println(tbl.Render())
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, tbl); err != nil {
@@ -84,7 +101,7 @@ func main() {
 		if !tbl.Ok() {
 			failed = true
 		}
-	}
+	})
 	if failed {
 		fmt.Fprintln(os.Stderr, "paperbench: at least one experiment failed")
 		os.Exit(1)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -24,7 +25,15 @@ type Campaign struct {
 	Transport  bool        // run every box over the reliable transport
 	Shrink     bool        // delta-debug every failure down to a Repro
 
-	// Progress, when set, observes every finished run (for CLI output).
+	// Parallel is the worker count for executing runs: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces sequential execution. Whatever the
+	// worker count, the Report is deterministic: results are aggregated (and
+	// Progress observed) in Specs() order.
+	Parallel int
+
+	// Progress, when set, observes every finished run (for CLI output). It is
+	// always invoked serially, in Specs() order, on the Run caller's
+	// goroutine.
 	Progress func(*Result)
 }
 
@@ -192,12 +201,33 @@ func planCrashes(plan string, n int, horizon sim.Time, seed int64) []CrashSpec {
 	return []CrashSpec{{P: -1, At: 0, When: "bad-plan:" + plan}}
 }
 
-// Run executes the whole campaign sequentially (runs are single-threaded by
-// design; determinism beats parallel wall-clock here) and aggregates.
+// Run executes the whole campaign and aggregates. Individual runs are
+// single-threaded by design, but independent of one another — each owns its
+// kernel, RNG, and trace log — so they fan out over a Parallel-sized worker
+// pool. The Report is identical to a sequential sweep's: each run is
+// deterministic in its spec alone, a failing run's shrink search executes on
+// the same worker that ran it (Shrink is a pure function of the spec), and
+// aggregation consumes results strictly in Specs() order.
 func (c Campaign) Run() *Report {
+	specs := c.Specs()
 	rep := &Report{ByBox: make(map[string]*BoxStats)}
-	for _, spec := range c.Specs() {
-		res := Execute(spec)
+
+	// outcome is everything a worker produces for one spec; the shrink runs
+	// on the worker too, so the ordered consumer below does no heavy work.
+	type outcome struct {
+		res   *Result
+		repro *Repro
+	}
+	par.MapOrdered(c.Parallel, len(specs), func(i int) outcome {
+		o := outcome{res: Execute(specs[i])}
+		if o.res.Failed() && c.Shrink {
+			if r, err := Shrink(specs[i]); err == nil {
+				o.repro = r
+			}
+		}
+		return o
+	}, func(i int, o outcome) {
+		spec := specs[i]
 		rep.Runs++
 		st := rep.ByBox[spec.Box]
 		if st == nil {
@@ -205,20 +235,18 @@ func (c Campaign) Run() *Report {
 			rep.ByBox[spec.Box] = st
 		}
 		st.Runs++
-		if res.Failed() {
+		if o.res.Failed() {
 			st.Failed++
-			if c.Shrink {
-				if r, err := Shrink(spec); err == nil {
-					rep.Repros = append(rep.Repros, r)
-				}
+			if o.repro != nil {
+				rep.Repros = append(rep.Repros, o.repro)
 			}
-			res.Log = nil // keep the report's memory footprint bounded
-			rep.Failures = append(rep.Failures, res)
+			o.res.Log = nil // keep the report's memory footprint bounded
+			rep.Failures = append(rep.Failures, o.res)
 		}
 		if c.Progress != nil {
-			c.Progress(res)
+			c.Progress(o.res)
 		}
-	}
+	})
 	return rep
 }
 

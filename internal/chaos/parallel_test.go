@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parallelTestCampaign is a small but representative sweep: two boxes (one
+// compliant, one planted-bug so the failure/shrink path is exercised), two
+// fault plans, two seeds, a lossy link shape with the transport on.
+func parallelTestCampaign() Campaign {
+	shapes := LinkShapes(8000)
+	return Campaign{
+		Boxes:      []string{"forks", "buggy"},
+		Topologies: []string{"ring"},
+		Sizes:      []int{4},
+		Seeds:      []int64{1, 2},
+		Horizon:    8000,
+		Delays:     []DelaySpec{{Kind: "gst", GST: 800, PreMax: 120, PostMax: 8}},
+		Plans:      []string{"none", "eating"},
+		Links:      []*LinkSpec{nil, shapes["loss10"]},
+		Transport:  true,
+		Shrink:     true,
+	}
+}
+
+// runWithHashes executes the campaign at the given worker count, additionally
+// collecting every run's trace hash (and the Progress call order) through the
+// serialized Progress callback.
+func runWithHashes(c Campaign, workers int) (*Report, []string, []uint64) {
+	c.Parallel = workers
+	var order []string
+	var hashes []uint64
+	c.Progress = func(r *Result) {
+		order = append(order, r.Spec.ID())
+		hashes = append(hashes, r.TraceHash)
+	}
+	rep := c.Run()
+	return rep, order, hashes
+}
+
+// TestCampaignParallelEquivalence: a campaign run on a multi-worker pool
+// produces exactly the sequential report — same aggregates, same failures,
+// same shrunk repros, same per-spec trace hashes, same Progress order.
+func TestCampaignParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run campaign in -short mode")
+	}
+	c := parallelTestCampaign()
+	seqRep, seqOrder, seqHashes := runWithHashes(c, 1)
+	parRep, parOrder, parHashes := runWithHashes(c, 4)
+
+	if !reflect.DeepEqual(seqOrder, parOrder) {
+		t.Fatalf("Progress order diverged:\nseq: %v\npar: %v", seqOrder, parOrder)
+	}
+	if !reflect.DeepEqual(seqHashes, parHashes) {
+		t.Fatalf("per-spec trace hashes diverged:\nseq: %v\npar: %v", seqHashes, parHashes)
+	}
+	if seqRep.Runs != parRep.Runs {
+		t.Fatalf("run counts differ: %d vs %d", seqRep.Runs, parRep.Runs)
+	}
+	if !reflect.DeepEqual(seqRep.ByBox, parRep.ByBox) {
+		t.Fatalf("per-box aggregates differ:\nseq: %+v\npar: %+v", seqRep.ByBox, parRep.ByBox)
+	}
+	if len(seqRep.Failures) != len(parRep.Failures) {
+		t.Fatalf("failure counts differ: %d vs %d", len(seqRep.Failures), len(parRep.Failures))
+	}
+	for i := range seqRep.Failures {
+		a, b := seqRep.Failures[i], parRep.Failures[i]
+		if a.Spec.ID() != b.Spec.ID() || a.Category != b.Category ||
+			a.TraceHash != b.TraceHash || !reflect.DeepEqual(a.Violations, b.Violations) {
+			t.Errorf("failure %d differs:\nseq: %s [%s] %x %v\npar: %s [%s] %x %v",
+				i, a.Spec.ID(), a.Category, a.TraceHash, a.Violations,
+				b.Spec.ID(), b.Category, b.TraceHash, b.Violations)
+		}
+	}
+	if len(seqRep.Repros) != len(parRep.Repros) {
+		t.Fatalf("repro counts differ: %d vs %d", len(seqRep.Repros), len(parRep.Repros))
+	}
+	for i := range seqRep.Repros {
+		a, b := seqRep.Repros[i], parRep.Repros[i]
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("repro %d differs:\nseq: %+v\npar: %+v", i, a, b)
+		}
+	}
+	if seqRep.Render() != parRep.Render() {
+		t.Fatalf("rendered reports differ:\nseq:\n%s\npar:\n%s", seqRep.Render(), parRep.Render())
+	}
+}
+
+// TestCampaignParallelWorkerCounts: the report is invariant across a range
+// of worker counts, including more workers than runs.
+func TestCampaignParallelWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run campaign in -short mode")
+	}
+	c := parallelTestCampaign()
+	c.Shrink = false // shape-only check; shrink equivalence is covered above
+	base, _, baseHashes := runWithHashes(c, 1)
+	for _, workers := range []int{2, 3, 64} {
+		rep, _, hashes := runWithHashes(c, workers)
+		if !reflect.DeepEqual(baseHashes, hashes) {
+			t.Errorf("workers=%d: trace hashes diverged", workers)
+		}
+		if rep.Render() != base.Render() {
+			t.Errorf("workers=%d: rendered report diverged", workers)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Workers is the worker count experiment sweeps fan out over: 0 means
+// runtime.GOMAXPROCS(0), 1 forces sequential execution. cmd/paperbench wires
+// its -parallel flag here. Every cell of a sweep builds its own kernel, RNG,
+// and trace log, and results come back in grid order, so the rendered tables
+// are identical whatever the worker count.
+var Workers int
+
+// Sweep runs body over every cell of a one-dimensional parameter list (a
+// seed sweep, typically) on the shared worker pool and returns the results
+// in input order.
+func Sweep[C, T any](cells []C, body func(C) T) []T {
+	return par.Map(Workers, len(cells), func(i int) T { return body(cells[i]) })
+}
+
+// Sweep2 runs body over the cross product a×b in row-major order (a outer,
+// b inner) — the shape of the seed/config grids the E* tables iterate — and
+// returns the results in that order.
+func Sweep2[A, B, T any](as []A, bs []B, body func(A, B) T) []T {
+	cells := len(as) * len(bs)
+	if len(bs) == 0 {
+		cells = 0
+	}
+	return par.Map(Workers, cells, func(i int) T {
+		return body(as[i/len(bs)], bs[i%len(bs)])
+	})
+}
+
+// cellResult is one sweep cell's contribution to a Table: its rows plus any
+// failure lines. Collecting through cellResult keeps the Table-building code
+// sequential (and hence deterministic) while the runs themselves fan out.
+type cellResult struct {
+	rows  [][]string
+	fails []string
+}
+
+func (c *cellResult) addRow(cells ...string) { c.rows = append(c.rows, cells) }
+
+func (c *cellResult) failf(format string, args ...any) {
+	c.fails = append(c.fails, fmt.Sprintf(format, args...))
+}
+
+// collect appends a slice of cell results to the table in sweep order.
+func (t *Table) collect(cells []cellResult) {
+	for _, c := range cells {
+		t.Failures = append(t.Failures, c.fails...)
+		t.Rows = append(t.Rows, c.rows...)
+	}
+}

@@ -90,31 +90,29 @@ func E2Completeness(seeds []int64, sizes []int) *Table {
 		Title:   "Theorem 1 — strong completeness of the extracted ◇P",
 		Columns: []string{"n", "seed", "crashed", "worst detection latency", "verdict"},
 	}
-	for _, n := range sizes {
-		for _, seed := range seeds {
-			r := NewRig(n, seed, 800)
-			core.NewExtractor(r.K, Procs(n), r.Factory, "xp")
-			crashed := sim.ProcID(n - 1)
-			r.K.CrashAt(crashed, 5000)
-			horizon := r.K.Run(60000)
-			rep, err := checker.StrongCompleteness(r.Log, "xp", checker.AllPairs(Procs(n)), true, horizon*3/4)
-			verdict := "ok"
-			if err != nil {
-				verdict = err.Error()
-				t.Failures = append(t.Failures, fmt.Sprintf("n=%d seed=%d: %v", n, seed, err))
-			}
-			worst := sim.Time(0)
-			for _, lat := range rep.DetectionLatency {
-				if lat > worst {
-					worst = lat
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				itoa(int64(n)), itoa(seed), fmt.Sprintf("p%d@5000", crashed),
-				itoa(int64(worst)), verdict,
-			})
+	t.collect(Sweep2(sizes, seeds, func(n int, seed int64) cellResult {
+		r := NewRig(n, seed, 800)
+		core.NewExtractor(r.K, Procs(n), r.Factory, "xp")
+		crashed := sim.ProcID(n - 1)
+		r.K.CrashAt(crashed, 5000)
+		horizon := r.K.Run(60000)
+		rep, err := checker.StrongCompleteness(r.Log, "xp", checker.AllPairs(Procs(n)), true, horizon*3/4)
+		var c cellResult
+		verdict := "ok"
+		if err != nil {
+			verdict = err.Error()
+			c.failf("n=%d seed=%d: %v", n, seed, err)
 		}
-	}
+		worst := sim.Time(0)
+		for _, lat := range rep.DetectionLatency {
+			if lat > worst {
+				worst = lat
+			}
+		}
+		c.addRow(itoa(int64(n)), itoa(seed), fmt.Sprintf("p%d@5000", crashed),
+			itoa(int64(worst)), verdict)
+		return c
+	}))
 	return t
 }
 
@@ -128,26 +126,24 @@ func E3Accuracy(seeds []int64, gsts []sim.Time) *Table {
 		Title:   "Theorem 2 — eventual strong accuracy of the extracted ◇P",
 		Columns: []string{"GST", "seed", "mistakes", "converged at", "verdict"},
 	}
-	for _, gst := range gsts {
-		for _, seed := range seeds {
-			r := NewRig(2, seed, gst)
-			core.NewPairMonitor(r.K, 0, 1, r.Factory, "xp")
-			horizon := r.K.Run(60000)
-			rep, err := checker.EventualStrongAccuracy(r.Log, "xp", [][2]sim.ProcID{{0, 1}}, true, horizon*3/4)
-			verdict := "ok"
-			if err != nil {
-				verdict = err.Error()
-				t.Failures = append(t.Failures, fmt.Sprintf("gst=%d seed=%d: %v", gst, seed, err))
-			}
-			conv := "never suspected falsely after start"
-			if rep.Convergence != sim.Never {
-				conv = itoa(int64(rep.Convergence))
-			}
-			t.Rows = append(t.Rows, []string{
-				itoa(int64(gst)), itoa(seed), itoa(int64(rep.Mistakes)), conv, verdict,
-			})
+	t.collect(Sweep2(gsts, seeds, func(gst sim.Time, seed int64) cellResult {
+		r := NewRig(2, seed, gst)
+		core.NewPairMonitor(r.K, 0, 1, r.Factory, "xp")
+		horizon := r.K.Run(60000)
+		rep, err := checker.EventualStrongAccuracy(r.Log, "xp", [][2]sim.ProcID{{0, 1}}, true, horizon*3/4)
+		var c cellResult
+		verdict := "ok"
+		if err != nil {
+			verdict = err.Error()
+			c.failf("gst=%d seed=%d: %v", gst, seed, err)
 		}
-	}
+		conv := "never suspected falsely after start"
+		if rep.Convergence != sim.Never {
+			conv = itoa(int64(rep.Convergence))
+		}
+		c.addRow(itoa(int64(gst)), itoa(seed), itoa(int64(rep.Mistakes)), conv, verdict)
+		return c
+	}))
 	t.Notes = append(t.Notes,
 		"mistakes include the mandated initial suspicion; ◇P permits any finite count")
 	return t

@@ -112,14 +112,16 @@ func E7Fairness(seeds []int64) *Table {
 		dining.Drive(k, 0, tbl.Diner(0), dining.DriverConfig{ThinkMin: 1, ThinkMax: 3, EatMin: 5, EatMax: 15})
 		dining.Drive(k, 1, tbl.Diner(1), dining.DriverConfig{ThinkMin: 10, ThinkMax: 80, EatMin: 5, EatMax: 25})
 	}
-	for _, seed := range seeds {
+	t.collect(Sweep(seeds, func(seed int64) cellResult {
+		var c cellResult
+
 		// Plain box.
 		r := NewRig(2, seed, 600)
 		plain := forks.New(r.K, g, "plain", r.Native, forks.Config{})
 		drive(r.K, plain)
 		end := r.K.Run(50000)
 		overPlain := len(checker.KFairness(r.Log, g, "plain", 2, end/2, end))
-		t.Rows = append(t.Rows, []string{itoa(seed), "plain forks", itoa(int64(overPlain)), "0", "no bound promised"})
+		c.addRow(itoa(seed), "plain forks", itoa(int64(overPlain)), "0", "no bound promised")
 
 		// Pipeline: black box -> extractor -> fair layer.
 		r2 := NewRig(2, seed, 600)
@@ -132,14 +134,15 @@ func E7Fairness(seeds []int64) *Table {
 		verdict := "ok"
 		if overFair > 0 {
 			verdict = "2-fairness violated"
-			t.Failures = append(t.Failures, fmt.Sprintf("seed=%d: %d suffix overtakes beyond 2 in the fair layer", seed, overFair))
+			c.failf("seed=%d: %d suffix overtakes beyond 2 in the fair layer", seed, overFair)
 		}
 		if starved > 0 {
 			verdict = "starvation"
-			t.Failures = append(t.Failures, fmt.Sprintf("seed=%d: fair layer starved %d diners", seed, starved))
+			c.failf("seed=%d: fair layer starved %d diners", seed, starved)
 		}
-		t.Rows = append(t.Rows, []string{itoa(seed), "fair (extracted ◇P)", itoa(int64(overFair)), itoa(int64(starved)), verdict})
-	}
+		c.addRow(itoa(seed), "fair (extracted ◇P)", itoa(int64(overFair)), itoa(int64(starved)), verdict)
+		return c
+	}))
 	return t
 }
 

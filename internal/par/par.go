@@ -1,0 +1,91 @@
+// Package par provides the bounded worker pool shared by the repo's sweep
+// layers: chaos campaigns (internal/chaos) and experiment fan-out
+// (internal/experiment) both execute many independent single-threaded
+// sim.Kernel runs, which is embarrassingly parallel — each run owns its
+// kernel, RNG, and trace log, and nothing is shared between runs.
+//
+// The determinism contract of the sequential sweeps is preserved by
+// construction: jobs may finish in any wall-clock order, but results are
+// handed to the consumer strictly in index order, so aggregation, progress
+// callbacks, and rendered output are byte-identical to a sequential sweep.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n if positive, else
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MapOrdered runs job(0..n-1) on up to `workers` goroutines (0 means
+// GOMAXPROCS) and calls consume(i, result) strictly in index order, as soon
+// as each prefix of results is complete. consume runs on the calling
+// goroutine, so it needs no synchronization of its own. With one worker (or
+// one job) everything runs inline on the caller, sequentially.
+func MapOrdered[T any](workers, n int, job func(int) T, consume func(int, T)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			consume(i, job(i))
+		}
+		return
+	}
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		results = make([]T, n)
+		done    = make([]bool, n)
+		next    atomic.Int64 // next job index to claim
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				r := job(i)
+				mu.Lock()
+				results[i] = r
+				done[i] = true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		for !done[i] {
+			cond.Wait()
+		}
+		r := results[i]
+		var zero T
+		results[i] = zero // release the result as soon as it is consumed
+		mu.Unlock()
+		consume(i, r)
+	}
+	wg.Wait()
+}
+
+// Map runs job(0..n-1) on up to `workers` goroutines (0 means GOMAXPROCS)
+// and returns the results in index order.
+func Map[T any](workers, n int, job func(int) T) []T {
+	out := make([]T, n)
+	MapOrdered(workers, n, job, func(i int, v T) { out[i] = v })
+	return out
+}

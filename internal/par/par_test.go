@@ -1,0 +1,80 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestMapOrder: results land in index order regardless of worker count.
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapOrderedConsumeSequence: consume is called strictly 0..n-1 on the
+// caller's goroutine even when jobs complete out of order.
+func TestMapOrderedConsumeSequence(t *testing.T) {
+	const n = 200
+	want := 0
+	MapOrdered(8, n, func(i int) int {
+		// Later indices do less work, so they tend to finish first.
+		spin := (n - i) * 50
+		s := 0
+		for j := 0; j < spin; j++ {
+			s += j
+		}
+		_ = s
+		return i
+	}, func(i, v int) {
+		if i != want || v != want {
+			t.Fatalf("consume(%d, %d), want index %d", i, v, want)
+		}
+		want++
+	})
+	if want != n {
+		t.Fatalf("consumed %d of %d results", want, n)
+	}
+}
+
+// TestMapRunsEveryJobOnce: each index is claimed exactly once.
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	Map(16, n, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("Map over 0 jobs returned %v", out)
+	}
+	if out := Map(4, 1, func(i int) int { return 41 + i }); len(out) != 1 || out[0] != 41 {
+		t.Fatalf("Map over 1 job returned %v", out)
+	}
+}

@@ -31,6 +31,7 @@ type Kernel struct {
 	tracer   Tracer
 	inFlight int
 	counters map[string]int64
+	sentKeys map[string]string // port -> interned "msg.sent:<prefix>" counter key
 	stopped  bool
 	links    *LinkPlan // fair-lossy link adversary (nil = reliable channels)
 	sendHook SendHook  // transport interposition (see SetSendHook)
@@ -71,6 +72,7 @@ func NewKernel(n int, opts ...Option) *Kernel {
 		delay:    UniformDelay{Min: 1, Max: 8},
 		stepMax:  3,
 		counters: make(map[string]int64),
+		sentKeys: make(map[string]string),
 	}
 	for i := 0; i < n; i++ {
 		k.procs = append(k.procs, &proc{
@@ -158,7 +160,7 @@ func (k *Kernel) Send(from, to ProcID, port string, payload any) {
 // transport layer underneath it.
 func (k *Kernel) RawSend(from, to ProcID, port string, payload any) {
 	k.counters["msg.sent"]++
-	k.counters["msg.sent:"+portPrefix(port)]++
+	k.counters[k.sentKey(port)]++
 	m := Message{From: from, To: to, Port: port, Payload: payload}
 	d := k.delay.Delay(k.rng, from, to, k.now)
 	if d < 1 {
@@ -166,7 +168,20 @@ func (k *Kernel) RawSend(from, to ProcID, port string, payload any) {
 	}
 	d += k.reorderExtra()
 	k.inFlight++
-	k.schedule(k.now+d, func() { k.linkArrive(m) })
+	k.scheduleEvent(k.now+d, event{kind: evArrive, msg: m})
+}
+
+// sentKey returns the interned "msg.sent:<prefix>" counter key for a port.
+// Ports repeat across a run's lifetime (a system has a fixed set of channel
+// names), so caching the concatenation makes steady-state sends allocate no
+// counter strings at all.
+func (k *Kernel) sentKey(port string) string {
+	if key, ok := k.sentKeys[port]; ok {
+		return key
+	}
+	key := "msg.sent:" + portPrefix(port)
+	k.sentKeys[port] = key
+	return key
 }
 
 // Dispatch synchronously invokes the handler registered for m.Port at m.To,
@@ -195,13 +210,7 @@ func (k *Kernel) After(p ProcID, d Time, fn func()) {
 	if d < 1 {
 		d = 1
 	}
-	k.schedule(k.now+d, func() {
-		if k.procs[p].crashed {
-			return
-		}
-		fn()
-		k.wake(p)
-	})
+	k.scheduleEvent(k.now+d, event{kind: evTimer, p: p, fn: fn})
 }
 
 // CrashAt schedules process p to crash at time t: from t on it takes no
@@ -279,13 +288,13 @@ func (k *Kernel) runLoop(horizon Time, cond func() bool) (Time, bool) {
 		return k.now, true
 	}
 	for k.queue.Len() > 0 {
-		if next := k.queue.peek(); next.at > horizon {
+		if next, _ := k.queue.peekAt(); next > horizon {
 			k.now = horizon
 			return k.now, false
 		}
 		e := k.queue.pop()
 		k.now = e.at
-		e.fn()
+		k.fire(&e)
 		k.events++
 		if len(k.triggers) > 0 {
 			k.fireTriggers()
@@ -310,13 +319,43 @@ func (k *Kernel) runLoop(horizon Time, cond func() bool) (Time, bool) {
 // detected a terminal condition).
 func (k *Kernel) Stop() { k.stopped = true }
 
+// fire executes one popped event according to its kind. The typed variants
+// carry their payload inline; only evFunc and evTimer indirect through a
+// closure, and those are cold or caller-supplied respectively.
+func (k *Kernel) fire(e *event) {
+	switch e.kind {
+	case evArrive:
+		k.linkArrive(e.msg)
+	case evDeliver:
+		k.deliver(e.msg)
+	case evStep:
+		k.step(k.procs[e.p])
+	case evTimer:
+		if k.procs[e.p].crashed {
+			return
+		}
+		e.fn()
+		k.wake(e.p)
+	default:
+		e.fn()
+	}
+}
+
 // schedule enqueues fn at absolute time t (clamped to be after now).
 func (k *Kernel) schedule(t Time, fn func()) {
+	k.scheduleEvent(t, event{kind: evFunc, fn: fn})
+}
+
+// scheduleEvent enqueues a pre-built event at absolute time t (clamped to be
+// after now), stamping it with a fresh sequence number.
+func (k *Kernel) scheduleEvent(t Time, e event) {
 	if t <= k.now {
 		t = k.now + 1
 	}
 	k.seq++
-	k.queue.push(&event{at: t, seq: k.seq, fn: fn})
+	e.at = t
+	e.seq = k.seq
+	k.queue.push(e)
 }
 
 func (k *Kernel) deliver(m Message) {
@@ -347,7 +386,7 @@ func (k *Kernel) wake(p ProcID) {
 	if k.stepMax > 1 {
 		gap = 1 + Time(k.rng.Int63n(int64(k.stepMax)))
 	}
-	k.schedule(k.now+gap, func() { k.step(pr) })
+	k.scheduleEvent(k.now+gap, event{kind: evStep, p: pr.id})
 }
 
 // step executes at most one enabled action of pr, chosen by rotating through

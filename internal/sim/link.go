@@ -241,7 +241,9 @@ func (k *Kernel) linkArrive(m Message) {
 		k.Emit(Record{P: m.To, Kind: KindLink, Peer: m.From, Inst: portPrefix(m.Port), Note: "dup"})
 		extra := 1 + Time(k.rng.Int63n(8))
 		k.inFlight++
-		k.schedule(k.now+extra, func() { k.deliver(m) })
+		// evDeliver (not evArrive): the duplicate must bypass the adversary so
+		// it is not dropped or duplicated again.
+		k.scheduleEvent(k.now+extra, event{kind: evDeliver, msg: m})
 	}
 	k.deliver(m)
 }

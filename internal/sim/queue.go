@@ -1,53 +1,124 @@
 package sim
 
-import "container/heap"
-
 // event is an internal kernel event: a message delivery, a process step, a
-// timer expiry, or a crash. Events are totally ordered by (at, seq).
+// timer expiry, or a generic scheduled closure. Events are totally ordered by
+// (at, seq); seq is unique per event, so the order is strict and the queue
+// needs no secondary tie-break.
+//
+// Events are stored by value. Typed variants (kind + inline fields) exist so
+// the hot paths — message arrival, process steps, timers — carry their
+// payload inline instead of in a captured closure: a steady-state send or
+// wake allocates nothing. evFunc remains the general escape hatch for cold
+// paths (crash schedules, test hooks).
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	kind evKind
+	p    ProcID  // evStep, evTimer: the process concerned
+	msg  Message // evArrive, evDeliver: the message in transit
+	fn   func()  // evFunc: arbitrary thunk; evTimer: the timer body
 }
 
-// eventQueue is a binary min-heap of events ordered by (at, seq). The
-// zero value is an empty queue ready to use.
+type evKind uint8
+
+const (
+	evFunc    evKind = iota // run fn()
+	evArrive                // message reaches the link adversary (linkArrive)
+	evDeliver               // message delivery bypassing the adversary (dup copies)
+	evStep                  // scheduled guarded-action step of process p
+	evTimer                 // After timer at p: skip if crashed, else fn() + wake
+)
+
+// eventQueue is an index-based 4-ary min-heap of events ordered by (at, seq).
+// The zero value is an empty queue ready to use.
+//
+// Design notes (see DESIGN.md "Performance"): a 4-ary layout halves the tree
+// depth of a binary heap, and sift-down — the expensive direction, paid on
+// every pop — touches 4 children per level that sit in one or two cache
+// lines. Storing events by value removes the per-event pointer allocation
+// and the interface boxing that container/heap imposes; the slice's spare
+// capacity is the free list, so after warm-up a steady-state push recycles a
+// slot vacated by an earlier pop and the queue stops allocating entirely.
 type eventQueue struct {
-	items []*event
+	items []event
 }
 
 func (q *eventQueue) Len() int { return len(q.items) }
 
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-// Push implements heap.Interface.
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
-
-// Pop implements heap.Interface.
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	q.items = old[:n-1]
-	return it
+// push inserts e, sifting it up from the new leaf.
+func (q *eventQueue) push(e event) {
+	q.items = append(q.items, e)
+	it := q.items
+	i := len(it) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(&e, &it[parent]) {
+			break
+		}
+		it[i] = it[parent]
+		i = parent
+	}
+	it[i] = e
 }
 
-func (q *eventQueue) push(e *event) { heap.Push(q, e) }
-
-func (q *eventQueue) pop() *event { return heap.Pop(q).(*event) }
-
-func (q *eventQueue) peek() *event {
-	if len(q.items) == 0 {
-		return nil
+// pop removes and returns the minimum event. The vacated tail slot is zeroed
+// so the queue does not retain message payloads or closures beyond their
+// lifetime (the slot itself stays in the slice's capacity for reuse).
+func (q *eventQueue) pop() event {
+	it := q.items
+	top := it[0]
+	n := len(it) - 1
+	last := it[n]
+	it[n] = event{}
+	q.items = it[:n]
+	if n > 0 {
+		q.siftDown(last)
 	}
-	return q.items[0]
+	return top
+}
+
+// siftDown places e (the displaced last element) starting from the root.
+func (q *eventQueue) siftDown(e event) {
+	it := q.items
+	n := len(it)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Select the minimum of the up-to-4 children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&it[j], &it[m]) {
+				m = j
+			}
+		}
+		if !less(&it[m], &e) {
+			break
+		}
+		it[i] = it[m]
+		i = m
+	}
+	it[i] = e
+}
+
+// peekAt returns the minimum event's time without removing it; ok is false
+// on an empty queue.
+func (q *eventQueue) peekAt() (at Time, ok bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].at, true
 }

@@ -13,9 +13,9 @@ func TestQueueOrdering(t *testing.T) {
 	prop := func(times []int16) bool {
 		var q eventQueue
 		for i, tt := range times {
-			q.push(&event{at: Time(tt), seq: int64(i)})
+			q.push(event{at: Time(tt), seq: int64(i)})
 		}
-		var got []*event
+		var got []event
 		for q.Len() > 0 {
 			got = append(got, q.pop())
 		}
@@ -38,7 +38,7 @@ func TestQueueStability(t *testing.T) {
 	var q eventQueue
 	const n = 100
 	for i := 0; i < n; i++ {
-		q.push(&event{at: 7, seq: int64(i)})
+		q.push(event{at: 7, seq: int64(i)})
 	}
 	for i := 0; i < n; i++ {
 		if e := q.pop(); e.seq != int64(i) {
@@ -47,19 +47,19 @@ func TestQueueStability(t *testing.T) {
 	}
 }
 
-// TestQueuePeek: peek returns the minimum without removing it.
+// TestQueuePeek: peekAt returns the minimum time without removing anything.
 func TestQueuePeek(t *testing.T) {
 	var q eventQueue
-	if q.peek() != nil {
-		t.Fatal("peek of empty queue should be nil")
+	if _, ok := q.peekAt(); ok {
+		t.Fatal("peekAt of empty queue should report !ok")
 	}
-	q.push(&event{at: 5, seq: 1})
-	q.push(&event{at: 3, seq: 2})
-	if e := q.peek(); e.at != 3 {
-		t.Fatalf("peek returned at=%d, want 3", e.at)
+	q.push(event{at: 5, seq: 1})
+	q.push(event{at: 3, seq: 2})
+	if at, ok := q.peekAt(); !ok || at != 3 {
+		t.Fatalf("peekAt returned at=%d ok=%v, want 3 true", at, ok)
 	}
 	if q.Len() != 2 {
-		t.Fatalf("peek must not remove: len=%d", q.Len())
+		t.Fatalf("peekAt must not remove: len=%d", q.Len())
 	}
 }
 
@@ -75,7 +75,7 @@ func TestQueueMixedWorkload(t *testing.T) {
 		if q.Len() == 0 || rng.Intn(3) > 0 {
 			at := Time(rng.Intn(1000))
 			seq++
-			q.push(&event{at: at, seq: seq})
+			q.push(event{at: at, seq: seq})
 			pushed = append(pushed, at)
 		} else {
 			popped = append(popped, q.pop().at)
@@ -96,5 +96,28 @@ func TestQueueMixedWorkload(t *testing.T) {
 		if sorted[i] != pushed[i] {
 			t.Fatalf("pop multiset differs at %d: %d vs %d", i, sorted[i], pushed[i])
 		}
+	}
+}
+
+// TestQueueNoSteadyStateAllocs: after warm-up, a push/pop cycle within the
+// queue's high-water mark must not allocate — the slice's spare capacity is
+// the event free list.
+func TestQueueNoSteadyStateAllocs(t *testing.T) {
+	var q eventQueue
+	seq := int64(0)
+	for i := 0; i < 64; i++ {
+		seq++
+		q.push(event{at: Time(i), seq: seq})
+	}
+	for q.Len() > 32 {
+		q.pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		q.push(event{at: Time(seq % 97), seq: seq})
+		q.pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %v times per run, want 0", allocs)
 	}
 }
