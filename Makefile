@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench chaos
+.PHONY: check vet build test race fuzz bench chaos serve-smoke
 
 check: vet build race fuzz
 
@@ -48,3 +48,12 @@ bench:
 # any property violation.
 chaos:
 	$(GO) run ./cmd/chaos
+
+# End-to-end smoke of the live service: boot dineserve on an ephemeral
+# loopback port, run a 64-client dineload burst, SIGINT the server, and
+# require a clean drain plus a clean ◇WX-exclusion verdict over the whole
+# run's trace. CLIENTS/DURATION are overridable.
+serve-smoke:
+	$(GO) build -o bin/dineserve ./cmd/dineserve
+	$(GO) build -o bin/dineload ./cmd/dineload
+	bash scripts/serve_smoke.sh

@@ -32,10 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/chaos"
 	"repro/internal/sim"
@@ -104,6 +106,21 @@ func main() {
 		anyLossy = anyLossy || ls != nil
 	}
 	c.Transport = anyLossy && *transport
+
+	// Ctrl-C stops the sweep but not the program: in-flight runs finish,
+	// the partial report and any shrunk repros are still flushed, and the
+	// exit status marks the campaign as incomplete.
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "chaos: interrupted, finishing in-flight runs and flushing the partial report")
+		signal.Stop(sig) // a second Ctrl-C kills the process the default way
+		close(interrupt)
+	}()
+	c.Interrupt = interrupt
+
 	if *verbose {
 		c.Progress = func(r *chaos.Result) {
 			status := "ok"
@@ -137,11 +154,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaos: a compliant box violated a property")
 		exit = 1
 	}
-	if *expected {
+	if *expected && !rep.Interrupted() {
 		if st := rep.ByBox["buggy"]; st == nil || st.Failed == 0 {
 			fmt.Fprintln(os.Stderr, "chaos: the planted-bug box was not caught")
 			exit = 1
 		}
+	}
+	if rep.Interrupted() {
+		fmt.Fprintf(os.Stderr, "chaos: campaign interrupted: %d of %d runs skipped\n",
+			rep.Skipped, rep.Runs+rep.Skipped)
+		exit = 130 // conventional 128+SIGINT: partial evidence is not a pass
 	}
 	os.Exit(exit)
 }

@@ -1,0 +1,209 @@
+// Command dineload is a concurrent load generator for dineserve: it opens
+// -clients TCP connections, and each client loops acquire → hold → release
+// against a randomly chosen diner until -duration elapses. It reports
+// sessions completed, throughput, and acquire-latency percentiles (request
+// sent → grant received), and optionally counts events on the ◇P suspect
+// stream over a separate watch connection.
+//
+// Exit status is non-zero if any client saw a protocol error or if no
+// session completed at all, so scripted smoke tests can assert on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockproto"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7117", "dineserve address")
+		clients  = flag.Int("clients", 64, "concurrent client connections")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		hold     = flag.Duration("hold", 2*time.Millisecond, "how long each session holds the lock")
+		opTO     = flag.Duration("op-timeout", 15*time.Second, "per-reply read deadline")
+		watch    = flag.Bool("watch", true, "also stream ◇P suspect events on a side connection")
+	)
+	flag.Parse()
+
+	diners, err := probe(*addr, *opTO)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dineload: cannot reach server: %v\n", err)
+		os.Exit(1)
+	}
+
+	var suspectEvents atomic.Int64
+	watchDone := make(chan struct{})
+	if *watch {
+		go watchSuspects(*addr, &suspectEvents, watchDone)
+	} else {
+		close(watchDone)
+	}
+
+	deadline := time.Now().Add(*duration)
+	results := make([]clientResult, *clients)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runClient(i, *addr, diners, deadline, *hold, *opTO)
+		}(i)
+	}
+	wg.Wait()
+	close(watchDone)
+
+	var lats []time.Duration
+	sessions, errs := 0, 0
+	for _, res := range results {
+		sessions += res.sessions
+		errs += res.errors
+		lats = append(lats, res.latencies...)
+	}
+	elapsed := *duration
+	fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
+	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d\n", sessions, float64(sessions)/elapsed.Seconds(), errs)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("dineload: acquire latency p50=%v p95=%v p99=%v max=%v\n",
+			pct(lats, 50), pct(lats, 95), pct(lats, 99), lats[len(lats)-1])
+	}
+	if *watch {
+		fmt.Printf("dineload: suspect-stream events: %d\n", suspectEvents.Load())
+	}
+	if errs > 0 || sessions == 0 {
+		os.Exit(1)
+	}
+}
+
+// pct picks the p-th percentile of a sorted latency slice.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(10 * time.Microsecond)
+}
+
+// probe asks the server for its diner count.
+func probe(addr string, timeout time.Duration) (int, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(c).Encode(lockproto.Request{Op: lockproto.OpInfo}); err != nil {
+		return 0, err
+	}
+	var ev lockproto.Event
+	if err := json.NewDecoder(c).Decode(&ev); err != nil {
+		return 0, err
+	}
+	if ev.Ev != lockproto.EvInfo || ev.Diners < 1 {
+		return 0, fmt.Errorf("unexpected info reply %+v", ev)
+	}
+	return ev.Diners, nil
+}
+
+// watchSuspects counts suspect-stream events until done closes.
+func watchSuspects(addr string, n *atomic.Int64, done <-chan struct{}) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	go func() {
+		<-done
+		c.Close() // unblocks the decoder
+	}()
+	if err := json.NewEncoder(c).Encode(lockproto.Request{Op: lockproto.OpWatch}); err != nil {
+		return
+	}
+	dec := json.NewDecoder(c)
+	for {
+		var ev lockproto.Event
+		if err := dec.Decode(&ev); err != nil {
+			return
+		}
+		if ev.Ev == lockproto.EvSuspect {
+			n.Add(1)
+		}
+	}
+}
+
+type clientResult struct {
+	sessions  int
+	errors    int
+	latencies []time.Duration
+}
+
+// runClient loops acquire/hold/release on one connection until the deadline.
+// Replies to this connection's requests arrive in order, so a simple
+// decode-next loop per operation suffices.
+func runClient(id int, addr string, diners int, deadline time.Time, hold, opTO time.Duration) clientResult {
+	var res clientResult
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		res.errors++
+		return res
+	}
+	defer c.Close()
+	enc, dec := json.NewEncoder(c), json.NewDecoder(c)
+	rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+
+	await := func(want, id string) bool {
+		c.SetReadDeadline(time.Now().Add(opTO))
+		for {
+			var ev lockproto.Event
+			if err := dec.Decode(&ev); err != nil {
+				res.errors++
+				return false
+			}
+			if ev.Ev == lockproto.EvError {
+				// A drain refusal while the run winds down is expected; any
+				// other error counts against the run.
+				if ev.Msg != "draining" {
+					res.errors++
+				}
+				return false
+			}
+			if ev.Ev == want && ev.ID == id {
+				return true
+			}
+		}
+	}
+
+	for seq := 0; time.Now().Before(deadline); seq++ {
+		diner := rng.Intn(diners)
+		sid := fmt.Sprintf("c%d-%d", id, seq)
+		start := time.Now()
+		if err := enc.Encode(lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: sid}); err != nil {
+			res.errors++
+			return res
+		}
+		if !await(lockproto.EvGranted, sid) {
+			return res
+		}
+		res.latencies = append(res.latencies, time.Since(start))
+		time.Sleep(hold)
+		if err := enc.Encode(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}); err != nil {
+			res.errors++
+			return res
+		}
+		if !await(lockproto.EvReleased, sid) {
+			return res
+		}
+		res.sessions++
+	}
+	return res
+}

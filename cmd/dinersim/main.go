@@ -24,8 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/checker"
 	"repro/internal/detector"
@@ -148,9 +151,26 @@ func main() {
 		k.CrashAt(sim.ProcID(p), sim.Time(at))
 	}
 
-	end := k.Run(sim.Time(*horizon))
+	// Ctrl-C ends the simulation at the current virtual time instead of
+	// killing the process: the full report below (and -csvtrace) still
+	// covers everything that ran, and the exit status marks the run partial.
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "dinersim: interrupted, flushing partial report")
+		signal.Stop(sig)
+		interrupted.Store(true)
+	}()
+	end, _ := k.RunUntil(sim.Time(*horizon), func() bool { return interrupted.Load() })
 
-	fmt.Printf("run: table=%s %v seed=%d end=%d\n\n", *table, g, *seed, end)
+	if interrupted.Load() {
+		fmt.Printf("run: table=%s %v seed=%d end=%d (INTERRUPTED before horizon %d)\n\n",
+			*table, g, *seed, end, *horizon)
+	} else {
+		fmt.Printf("run: table=%s %v seed=%d end=%d\n\n", *table, g, *seed, end)
+	}
 	eat := log.Sessions("eating")
 	fmt.Println("diner  meals  crashed")
 	for _, p := range g.Nodes() {
@@ -253,6 +273,10 @@ func main() {
 	if failed {
 		fmt.Fprintln(os.Stderr, "dinersim: property violations detected")
 		os.Exit(1)
+	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "dinersim: run interrupted before the horizon")
+		os.Exit(130)
 	}
 }
 

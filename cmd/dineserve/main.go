@@ -1,0 +1,112 @@
+// Command dineserve exposes wait-free dining under eventual weak exclusion
+// as a networked lock/session service. It hosts N diners on the live runtime
+// (internal/live), arbitrated by the forks algorithm over a heartbeat ◇P;
+// clients acquire and release eating sessions over TCP (newline-delimited
+// JSON, see internal/lockproto — a plain `nc` session works). Alongside the
+// served table, the paper's reduction (internal/core) runs the full ◇P
+// extraction over the same process set, and clients can stream its suspect
+// output live with the watch op.
+//
+// On SIGINT the server drains: new acquires are refused, granted sessions
+// run to completion (bounded by -drain), and the whole run's trace is then
+// validated by the ◇WX checker. The exit status reports the verdict, which
+// is what `make serve-smoke` asserts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/rt"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7117", "listen address (use :0 for an ephemeral port)")
+		n         = flag.Int("n", 5, "number of diners")
+		topology  = flag.String("topology", "ring", "conflict graph: ring or clique")
+		tick      = flag.Duration("tick", time.Millisecond, "wall-clock duration of one protocol tick")
+		hbTimeout = flag.Int("hb-timeout", 600, "initial heartbeat suspicion timeout, in ticks")
+		extract   = flag.Bool("extract", true, "run the ◇P extraction alongside the served table (feeds the watch stream)")
+		drain     = flag.Duration("drain", 10*time.Second, "how long SIGINT waits for in-flight sessions")
+	)
+	flag.Parse()
+	if *n < 2 {
+		fmt.Fprintln(os.Stderr, "dineserve: -n must be at least 2")
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	switch *topology {
+	case "ring":
+		g = graph.Ring(*n)
+	case "clique":
+		g = graph.Clique(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "dineserve: unknown -topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	log := &trace.Log{}
+	feed := newSuspectFeed(extInst)
+	r := live.New(live.Config{
+		N:      *n,
+		Tick:   *tick,
+		Tracer: multiTracer{log, feed},
+	})
+	hb := detector.NewHeartbeat(r, "hb", detector.HeartbeatConfig{
+		Interval: 20, Check: 10,
+		Timeout: rt.Time(*hbTimeout), Bump: rt.Time(*hbTimeout) / 2,
+	})
+	tbl := forks.New(r, g, tableInst, hb, forks.Config{})
+	if *extract {
+		procs := make([]rt.ProcID, *n)
+		for i := range procs {
+			procs[i] = rt.ProcID(i)
+		}
+		core.NewExtractor(r, procs, forks.Factory(hb, forks.Config{}), extInst)
+	}
+
+	srv := newServer(r, tbl, feed)
+	r.Start()
+	ln, err := srv.listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dineserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dineserve: listening on %s (%d diners, %s)\n", ln.Addr(), *n, *topology)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go srv.accept()
+	<-sig
+	fmt.Println("dineserve: signal received, draining")
+	srv.drain(*drain)
+
+	end := r.Now()
+	r.Stop()
+	fmt.Printf("dineserve: granted=%d released=%d steps=%d msgs=%d\n",
+		srv.granted.Load(), srv.released.Load(), r.Counter("steps"), r.Counter("msg.delivered"))
+
+	// The service's whole life is the run; require exclusion mistakes to
+	// have stopped by its midpoint. With no crashes and sane timeouts there
+	// are normally no violations at all.
+	rep, err := checker.EventualWeakExclusion(log, g, tableInst, end/2, end)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dineserve: exclusion check FAILED: %v (%d violations)\n", err, len(rep.Violations))
+		os.Exit(1)
+	}
+	fmt.Printf("dineserve: exclusion check OK — %d violations, all before t=%d (run end t=%d)\n",
+		len(rep.Violations), end/2, end)
+}

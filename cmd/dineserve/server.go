@@ -1,0 +1,393 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dining"
+	"repro/internal/live"
+	"repro/internal/lockproto"
+	"repro/internal/rt"
+)
+
+const (
+	tableInst = "dine" // served dining table's trace instance
+	extInst   = "ex"   // extraction oracle's trace instance
+	queueCap  = 1024   // pending acquires per diner before "busy"
+)
+
+// server is the TCP front end: it owns the listener, connection handlers,
+// and one manager goroutine per diner. Protocol state stays inside the live
+// runtime; the server talks to it only through rt.Invoke and the diner
+// callbacks, so nothing here races with protocol steps.
+type server struct {
+	r    *live.Runtime
+	feed *suspectFeed
+	mgrs []*dinerMgr
+
+	ln       net.Listener
+	stop     chan struct{}
+	draining atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	inFlight atomic.Int64 // sessions accepted but not yet finished
+	granted  atomic.Int64
+	released atomic.Int64
+}
+
+func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed) *server {
+	s := &server{
+		r:     r,
+		feed:  feed,
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for _, p := range tbl.Graph().Nodes() {
+		m := &dinerMgr{
+			srv:   s,
+			p:     p,
+			d:     tbl.Diner(p),
+			queue: make(chan *session, queueCap),
+			grant: make(chan struct{}, 1),
+			idle:  make(chan struct{}, 1),
+		}
+		// Registered before Start: both callbacks run on p's goroutine.
+		m.d.OnChange(func(st dining.State) {
+			switch st {
+			case dining.Eating:
+				pulse(m.grant)
+			case dining.Thinking:
+				pulse(m.idle)
+			}
+		})
+		s.mgrs = append(s.mgrs, m)
+	}
+	return s
+}
+
+func pulse(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (s *server) listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	for _, m := range s.mgrs {
+		go m.run()
+	}
+	return ln, nil
+}
+
+func (s *server) accept() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: we are draining
+		}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// drain stops accepting work and waits (bounded) for in-flight sessions to
+// finish, then tears down connections and managers.
+func (s *server) drain(timeout time.Duration) {
+	s.draining.Store(true)
+	s.ln.Close()
+	deadline := time.Now().Add(timeout)
+	for s.inFlight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if left := s.inFlight.Load(); left > 0 {
+		fmt.Printf("dineserve: drain timeout with %d sessions in flight\n", left)
+	}
+	close(s.stop)
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// jconn serializes writes from the connection reader, the diner managers,
+// and the watch forwarder onto one socket.
+type jconn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *json.Encoder
+}
+
+func (j *jconn) send(ev lockproto.Event) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(ev) == nil
+}
+
+func (s *server) handleConn(c net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		c.Close()
+	}()
+	jc := &jconn{c: c, enc: json.NewEncoder(c)}
+	gone := make(chan struct{})
+	defer close(gone) // cancels queued sessions and the watch forwarder
+	held := make(map[string]*session)
+
+	fail := func(req lockproto.Request, msg string) {
+		jc.send(lockproto.Event{Ev: lockproto.EvError, Diner: req.Diner, ID: req.ID, Msg: msg})
+	}
+
+	dec := json.NewDecoder(c)
+	for {
+		var req lockproto.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		switch req.Op {
+		case lockproto.OpInfo:
+			jc.send(lockproto.Event{Ev: lockproto.EvInfo, Diners: len(s.mgrs), T: int64(s.r.Now())})
+
+		case lockproto.OpAcquire:
+			if req.Diner < 0 || req.Diner >= len(s.mgrs) {
+				fail(req, "no such diner")
+				continue
+			}
+			if s.draining.Load() {
+				fail(req, "draining")
+				continue
+			}
+			key := fmt.Sprintf("%d/%s", req.Diner, req.ID)
+			if _, dup := held[key]; dup {
+				fail(req, "session id already in use")
+				continue
+			}
+			ses := &session{
+				id:      req.ID,
+				diner:   req.Diner,
+				gone:    gone,
+				release: make(chan struct{}),
+				send:    jc.send,
+			}
+			s.inFlight.Add(1)
+			select {
+			case s.mgrs[req.Diner].queue <- ses:
+				held[key] = ses
+			default:
+				s.inFlight.Add(-1)
+				fail(req, "busy")
+			}
+
+		case lockproto.OpRelease:
+			key := fmt.Sprintf("%d/%s", req.Diner, req.ID)
+			ses, ok := held[key]
+			if !ok {
+				fail(req, "unknown session")
+				continue
+			}
+			delete(held, key)
+			close(ses.release)
+
+		case lockproto.OpWatch:
+			snapshot, ch, cancel := s.feed.subscribe()
+			for _, ev := range snapshot {
+				jc.send(ev)
+			}
+			go func() {
+				defer cancel()
+				for {
+					select {
+					case ev := <-ch:
+						if !jc.send(ev) {
+							return
+						}
+					case <-gone:
+						return
+					case <-s.stop:
+						return
+					}
+				}
+			}()
+
+		default:
+			fail(req, "unknown op")
+		}
+	}
+}
+
+// session is one acquire from queue to release, owned by a dinerMgr after
+// being enqueued. The connection signals through release (client asked) and
+// gone (client vanished); the manager replies through send.
+type session struct {
+	id      string
+	diner   int
+	gone    <-chan struct{}
+	release chan struct{}
+	send    func(lockproto.Event) bool
+}
+
+// dinerMgr serializes sessions onto one diner: pop an acquire, make the
+// diner hungry, wait for the dining layer's grant, hand the critical section
+// to the client, and exit when the client releases (or disappears). All
+// diner calls go through Invoke, so they are steps of the diner's process.
+type dinerMgr struct {
+	srv   *server
+	p     rt.ProcID
+	d     dining.Diner
+	queue chan *session
+	grant chan struct{} // pulsed by OnChange(Eating)
+	idle  chan struct{} // pulsed by OnChange(Thinking)
+}
+
+func (m *dinerMgr) run() {
+	for {
+		var s *session
+		select {
+		case s = <-m.queue:
+		case <-m.srv.stop:
+			return
+		}
+		select {
+		case <-s.gone: // client left while queued
+			m.srv.inFlight.Add(-1)
+			continue
+		default:
+		}
+		if !m.srv.r.Invoke(m.p, func() {
+			if m.d.State() == dining.Thinking {
+				m.d.Hungry()
+			}
+		}) {
+			s.send(lockproto.Event{Ev: lockproto.EvError, Diner: s.diner, ID: s.id, Msg: "runtime stopped"})
+			m.srv.inFlight.Add(-1)
+			return
+		}
+		select {
+		case <-m.grant:
+		case <-m.srv.stop:
+			m.srv.inFlight.Add(-1)
+			return
+		}
+		m.srv.granted.Add(1)
+		s.send(lockproto.Event{Ev: lockproto.EvGranted, Diner: s.diner, ID: s.id, T: int64(m.srv.r.Now())})
+		select {
+		case <-s.release:
+		case <-s.gone: // auto-release: a dead client must not wedge the diner
+		case <-m.srv.stop:
+			m.srv.inFlight.Add(-1)
+			return
+		}
+		m.srv.r.Invoke(m.p, func() {
+			if m.d.State() == dining.Eating {
+				m.d.Exit()
+			}
+		})
+		select {
+		case <-m.idle:
+		case <-m.srv.stop:
+			m.srv.inFlight.Add(-1)
+			return
+		}
+		m.srv.released.Add(1)
+		s.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: s.diner, ID: s.id, T: int64(m.srv.r.Now())})
+		m.srv.inFlight.Add(-1)
+	}
+}
+
+// suspectFeed is an rt.Tracer that mirrors the extraction oracle's
+// suspect/trust records into per-subscriber channels, and keeps the current
+// suspicion matrix so a new watcher starts from a consistent snapshot.
+// Record delivery is already serialized by the runtime's emit lock; the
+// feed's own mutex makes snapshot-plus-subscribe atomic against it.
+type suspectFeed struct {
+	inst string
+
+	mu      sync.Mutex
+	cur     map[[2]int]bool
+	subs    map[int]chan lockproto.Event
+	nextID  int
+	dropped int64 // events not delivered to slow watchers
+}
+
+func newSuspectFeed(inst string) *suspectFeed {
+	return &suspectFeed{
+		inst: inst,
+		cur:  make(map[[2]int]bool),
+		subs: make(map[int]chan lockproto.Event),
+	}
+}
+
+// Trace implements rt.Tracer.
+func (f *suspectFeed) Trace(r rt.Record) {
+	if r.Inst != f.inst || (r.Kind != "suspect" && r.Kind != "trust") {
+		return
+	}
+	ev := lockproto.Event{
+		Ev: lockproto.EvSuspect,
+		Of: int(r.P), Peer: int(r.Peer),
+		Suspect: r.Kind == "suspect",
+		T:       int64(r.T),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ev.Suspect {
+		f.cur[[2]int{ev.Of, ev.Peer}] = true
+	} else {
+		delete(f.cur, [2]int{ev.Of, ev.Peer})
+	}
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+			f.dropped++
+		}
+	}
+}
+
+// subscribe returns the current suspicion matrix as events, a channel that
+// will carry every subsequent change, and a cancel function.
+func (f *suspectFeed) subscribe() ([]lockproto.Event, <-chan lockproto.Event, func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snapshot := make([]lockproto.Event, 0, len(f.cur))
+	for pq := range f.cur {
+		snapshot = append(snapshot, lockproto.Event{
+			Ev: lockproto.EvSuspect, Of: pq[0], Peer: pq[1], Suspect: true,
+		})
+	}
+	id := f.nextID
+	f.nextID++
+	ch := make(chan lockproto.Event, 256)
+	f.subs[id] = ch
+	cancel := func() {
+		f.mu.Lock()
+		delete(f.subs, id)
+		f.mu.Unlock()
+	}
+	return snapshot, ch, cancel
+}
+
+// multiTracer fans one record stream out to several tracers.
+type multiTracer []rt.Tracer
+
+// Trace implements rt.Tracer.
+func (m multiTracer) Trace(r rt.Record) {
+	for _, t := range m {
+		t.Trace(r)
+	}
+}

@@ -35,6 +35,13 @@ type Campaign struct {
 	// always invoked serially, in Specs() order, on the Run caller's
 	// goroutine.
 	Progress func(*Result)
+
+	// Interrupt, when non-nil and closed (or signaled), stops the campaign
+	// early: runs not yet started are skipped, runs in flight complete
+	// normally, and Run returns a partial Report with Skipped set. This is
+	// how cmd/chaos turns Ctrl-C into a flushed partial report instead of a
+	// dead process.
+	Interrupt <-chan struct{}
 }
 
 // BoxStats aggregates one box's campaign outcomes.
@@ -46,10 +53,15 @@ type BoxStats struct {
 // Report is the outcome of a campaign.
 type Report struct {
 	Runs     int
+	Skipped  int // runs not executed because the campaign was interrupted
 	ByBox    map[string]*BoxStats
 	Failures []*Result // failing results (traces stripped to bound memory)
 	Repros   []*Repro  // shrunk counterexamples, when Shrink was on
 }
+
+// Interrupted reports whether the campaign stopped before sweeping every
+// spec.
+func (r *Report) Interrupted() bool { return r.Skipped > 0 }
 
 // CompliantClean reports whether every box other than the planted-bug one
 // came through the campaign without a violation.
@@ -70,6 +82,9 @@ func (r *Report) Render() string {
 	}
 	sort.Strings(boxes)
 	out := fmt.Sprintf("campaign: %d runs\n", r.Runs)
+	if r.Skipped > 0 {
+		out = fmt.Sprintf("campaign: %d runs (INTERRUPTED, %d skipped)\n", r.Runs, r.Skipped)
+	}
 	for _, b := range boxes {
 		st := r.ByBox[b]
 		out += fmt.Sprintf("  %-8s runs=%-4d violations=%d\n", b, st.Runs, st.Failed)
@@ -214,11 +229,19 @@ func (c Campaign) Run() *Report {
 
 	// outcome is everything a worker produces for one spec; the shrink runs
 	// on the worker too, so the ordered consumer below does no heavy work.
+	// A nil res means the run was skipped after an interrupt.
 	type outcome struct {
 		res   *Result
 		repro *Repro
 	}
 	par.MapOrdered(c.Parallel, len(specs), func(i int) outcome {
+		if c.Interrupt != nil {
+			select {
+			case <-c.Interrupt:
+				return outcome{}
+			default:
+			}
+		}
 		o := outcome{res: Execute(specs[i])}
 		if o.res.Failed() && c.Shrink {
 			if r, err := Shrink(specs[i]); err == nil {
@@ -227,6 +250,10 @@ func (c Campaign) Run() *Report {
 		}
 		return o
 	}, func(i int, o outcome) {
+		if o.res == nil {
+			rep.Skipped++
+			return
+		}
 		spec := specs[i]
 		rep.Runs++
 		st := rep.ByBox[spec.Box]

@@ -33,15 +33,15 @@ import (
 
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // PairMonitor is the reduction instance for one ordered pair: p (the
 // witness process) monitors q (the subject process). Its output is the
 // suspect bit of Alg. 1, initially true.
 type PairMonitor struct {
-	k    *sim.Kernel
-	p, q sim.ProcID
+	k    rt.Runtime
+	p, q rt.ProcID
 	inst string // oracle instance name used in trace records
 
 	dx [2]dining.Table
@@ -64,7 +64,7 @@ type PairMonitor struct {
 // two fresh dining instances built by factory. inst names the extracted
 // oracle in trace records; table instances are named inst/p-q/0 and
 // inst/p-q/1.
-func NewPairMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, inst string) *PairMonitor {
+func NewPairMonitor(k rt.Runtime, p, q rt.ProcID, factory dining.Factory, inst string) *PairMonitor {
 	if p == q {
 		panic("core: a process cannot monitor itself")
 	}
@@ -82,7 +82,7 @@ func NewPairMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, inst
 	}
 	// Emit the initial suspicion so checkers see the paper's initial state.
 	k.After(p, 1, func() {
-		k.Emit(sim.Record{P: p, Kind: "suspect", Peer: q, Inst: inst})
+		k.Emit(rt.Record{P: p, Kind: "suspect", Peer: q, Inst: inst})
 	})
 
 	for i := 0; i < 2; i++ {
@@ -108,7 +108,7 @@ func NewPairMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, inst
 				m.wd[i].Exit()
 			})
 		// Action W_p: acknowledge each ping.
-		k.Handle(p, base+fmt.Sprintf("/ping%d", i), func(msg sim.Message) {
+		k.Handle(p, base+fmt.Sprintf("/ping%d", i), func(msg rt.Message) {
 			m.stats.PingsRecv[i]++
 			m.havePing[i] = true
 			m.stats.AcksSent[i]++
@@ -134,7 +134,7 @@ func NewPairMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, inst
 				k.Send(q, p, base+fmt.Sprintf("/ping%d", i), nil)
 			})
 		// Action S_a: the ack schedules the other subject.
-		k.Handle(q, base+fmt.Sprintf("/ack%d", i), func(sim.Message) {
+		k.Handle(q, base+fmt.Sprintf("/ack%d", i), func(rt.Message) {
 			m.stats.AcksRecv[i]++
 			m.trigger = 1 - i
 		})
@@ -158,10 +158,10 @@ func NewPairMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, inst
 func (m *PairMonitor) Suspect() bool { return m.suspect }
 
 // Witness returns the monitoring process p.
-func (m *PairMonitor) Witness() sim.ProcID { return m.p }
+func (m *PairMonitor) Witness() rt.ProcID { return m.p }
 
 // Subject returns the monitored process q.
-func (m *PairMonitor) Subject() sim.ProcID { return m.q }
+func (m *PairMonitor) Subject() rt.ProcID { return m.q }
 
 // Tables returns the two underlying dining instances (for tests that
 // inspect the black box).
@@ -176,7 +176,7 @@ func (m *PairMonitor) setSuspect(v bool) {
 	if v {
 		kind = "suspect"
 	}
-	m.k.Emit(sim.Record{P: m.p, Kind: kind, Peer: m.q, Inst: m.inst})
+	m.k.Emit(rt.Record{P: m.p, Kind: kind, Peer: m.q, Inst: m.inst})
 }
 
 // Extractor assembles a complete failure-detector module set from pair
@@ -186,19 +186,19 @@ func (m *PairMonitor) setSuspect(v bool) {
 // trusting oracle T's axioms (Section 9).
 type Extractor struct {
 	name     string
-	monitors map[[2]sim.ProcID]*PairMonitor
+	monitors map[[2]rt.ProcID]*PairMonitor
 }
 
 // NewExtractor builds pair monitors for all ordered pairs of procs using
 // the given black-box dining factory. name is the oracle instance name.
-func NewExtractor(k *sim.Kernel, procs []sim.ProcID, factory dining.Factory, name string) *Extractor {
-	e := &Extractor{name: name, monitors: make(map[[2]sim.ProcID]*PairMonitor)}
+func NewExtractor(k rt.Runtime, procs []rt.ProcID, factory dining.Factory, name string) *Extractor {
+	e := &Extractor{name: name, monitors: make(map[[2]rt.ProcID]*PairMonitor)}
 	for _, p := range procs {
 		for _, q := range procs {
 			if p == q {
 				continue
 			}
-			e.monitors[[2]sim.ProcID{p, q}] = NewPairMonitor(k, p, q, factory, name)
+			e.monitors[[2]rt.ProcID{p, q}] = NewPairMonitor(k, p, q, factory, name)
 		}
 	}
 	return e
@@ -210,8 +210,8 @@ func (e *Extractor) Name() string { return e.name }
 // Suspected implements detector.Oracle: the output of p's module about q.
 // Pairs that are not monitored (e.g. p == q or q outside the monitored set)
 // are reported unsuspected.
-func (e *Extractor) Suspected(p, q sim.ProcID) bool {
-	if m, ok := e.monitors[[2]sim.ProcID{p, q}]; ok {
+func (e *Extractor) Suspected(p, q rt.ProcID) bool {
+	if m, ok := e.monitors[[2]rt.ProcID{p, q}]; ok {
 		return m.Suspect()
 	}
 	return false
@@ -219,6 +219,6 @@ func (e *Extractor) Suspected(p, q sim.ProcID) bool {
 
 // Monitor returns the pair monitor for (p, q), or nil if the pair is not
 // monitored.
-func (e *Extractor) Monitor(p, q sim.ProcID) *PairMonitor {
-	return e.monitors[[2]sim.ProcID{p, q}]
+func (e *Extractor) Monitor(p, q rt.ProcID) *PairMonitor {
+	return e.monitors[[2]rt.ProcID{p, q}]
 }

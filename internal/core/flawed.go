@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // FlawedMonitor is the ◇P-extraction of Guerraoui, Kapalka and Kouznetsov
@@ -26,8 +26,8 @@ import (
 // own reduction (PairMonitor) survives the same box because its subjects'
 // eating sessions are always finite while the witness is live.
 type FlawedMonitor struct {
-	k    *sim.Kernel
-	p, q sim.ProcID
+	k    rt.Runtime
+	p, q rt.ProcID
 	inst string
 
 	table dining.Table
@@ -35,12 +35,12 @@ type FlawedMonitor struct {
 	sd    dining.Diner // q's stub
 
 	suspect   bool // p's output
-	heartbeat sim.Time
+	heartbeat rt.Time
 }
 
 // NewFlawedMonitor wires the [8] construction for (p, q) over one dining
 // instance built by factory. heartbeat is q's send period.
-func NewFlawedMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, inst string, heartbeat sim.Time) *FlawedMonitor {
+func NewFlawedMonitor(k rt.Runtime, p, q rt.ProcID, factory dining.Factory, inst string, heartbeat rt.Time) *FlawedMonitor {
 	if heartbeat <= 0 {
 		heartbeat = 25
 	}
@@ -51,7 +51,7 @@ func NewFlawedMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, in
 	m.sd = m.table.Diner(q)
 
 	k.After(p, 1, func() {
-		k.Emit(sim.Record{P: p, Kind: "suspect", Peer: q, Inst: inst})
+		k.Emit(rt.Record{P: p, Kind: "suspect", Peer: q, Inst: inst})
 	})
 
 	// ---- q's side: heartbeats forever, one hunger, never exit. ----
@@ -68,7 +68,7 @@ func NewFlawedMonitor(k *sim.Kernel, p, q sim.ProcID, factory dining.Factory, in
 
 	// ---- p's side. ----
 	wantHungry := false
-	k.Handle(p, base+"/hb", func(sim.Message) {
+	k.Handle(p, base+"/hb", func(rt.Message) {
 		m.setSuspect(false) // trust on heartbeat
 		wantHungry = true
 	})
@@ -102,5 +102,5 @@ func (m *FlawedMonitor) setSuspect(v bool) {
 	if v {
 		kind = "suspect"
 	}
-	m.k.Emit(sim.Record{P: m.p, Kind: kind, Peer: m.q, Inst: m.inst})
+	m.k.Emit(rt.Record{P: m.p, Kind: kind, Peer: m.q, Inst: m.inst})
 }

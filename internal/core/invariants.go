@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dining"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // MessageStats counts the reduction's own protocol messages for one pair
@@ -87,7 +87,7 @@ func (m *PairMonitor) CheckInvariants() []string {
 // suffix invariant and reports, at each poll after `suffixFrom`, a violation
 // if no subject is eating. Returns a counter that holds the total number of
 // violations seen.
-func (m *PairMonitor) WatchInvariants(interval, suffixFrom sim.Time, report func(at sim.Time, what string)) *int {
+func (m *PairMonitor) WatchInvariants(interval, suffixFrom rt.Time, report func(at rt.Time, what string)) *int {
 	count := new(int)
 	var poll func()
 	poll = func() {

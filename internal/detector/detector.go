@@ -12,7 +12,7 @@
 package detector
 
 import (
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Oracle is a queryable distributed failure detector: Suspected(p, q)
@@ -21,58 +21,58 @@ import (
 // can validate class axioms from the trace.
 type Oracle interface {
 	Name() string
-	Suspected(p, q sim.ProcID) bool
+	Suspected(p, q rt.ProcID) bool
 }
 
 // View binds an Oracle to one local module, which is how protocol code
 // (e.g. the fork dining algorithm) consults its detector.
 type View struct {
 	Oracle Oracle
-	Self   sim.ProcID
+	Self   rt.ProcID
 }
 
 // Suspected reports whether the local module currently suspects q.
-func (v View) Suspected(q sim.ProcID) bool { return v.Oracle.Suspected(v.Self, q) }
+func (v View) Suspected(q rt.ProcID) bool { return v.Oracle.Suspected(v.Self, q) }
 
 // Perfect is the model-true perfect failure detector P: it suspects exactly
 // the crashed processes, instantaneously. P trivially satisfies the axioms
 // of ◇P, T and S, so it also serves as the model-true instance of those
 // classes where one is required as an assumption (never as a conclusion).
 type Perfect struct {
-	K *sim.Kernel
+	K rt.Runtime
 }
 
 // Name implements Oracle.
 func (p Perfect) Name() string { return "P" }
 
 // Suspected implements Oracle.
-func (p Perfect) Suspected(_, q sim.ProcID) bool { return p.K.Crashed(q) }
+func (p Perfect) Suspected(_, q rt.ProcID) bool { return p.K.Crashed(q) }
 
 // Scripted is a mutable oracle for unit tests: Set drives outputs directly.
 // The zero value suspects no one.
 type Scripted struct {
-	m map[[2]sim.ProcID]bool
+	m map[[2]rt.ProcID]bool
 }
 
 // Name implements Oracle.
 func (s *Scripted) Name() string { return "scripted" }
 
 // Suspected implements Oracle.
-func (s *Scripted) Suspected(p, q sim.ProcID) bool { return s.m[[2]sim.ProcID{p, q}] }
+func (s *Scripted) Suspected(p, q rt.ProcID) bool { return s.m[[2]rt.ProcID{p, q}] }
 
 // Set makes p's module output "suspect q" = v.
-func (s *Scripted) Set(p, q sim.ProcID, v bool) {
+func (s *Scripted) Set(p, q rt.ProcID, v bool) {
 	if s.m == nil {
-		s.m = make(map[[2]sim.ProcID]bool)
+		s.m = make(map[[2]rt.ProcID]bool)
 	}
-	s.m[[2]sim.ProcID{p, q}] = v
+	s.m[[2]rt.ProcID{p, q}] = v
 }
 
 // emitChange emits the standard suspect/trust trace record.
-func emitChange(k *sim.Kernel, inst string, p, q sim.ProcID, suspect bool) {
+func emitChange(k rt.Runtime, inst string, p, q rt.ProcID, suspect bool) {
 	kind := "trust"
 	if suspect {
 		kind = "suspect"
 	}
-	k.Emit(sim.Record{P: p, Kind: kind, Peer: q, Inst: inst})
+	k.Emit(rt.Record{P: p, Kind: kind, Peer: q, Inst: inst})
 }

@@ -3,15 +3,15 @@ package detector
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // HeartbeatConfig tunes the heartbeat implementation of ◇P.
 type HeartbeatConfig struct {
-	Interval sim.Time // heartbeat broadcast period (default 20)
-	Check    sim.Time // suspicion check period (default 10)
-	Timeout  sim.Time // initial per-peer timeout (default 60)
-	Bump     sim.Time // timeout increase after each false suspicion (default 40)
+	Interval rt.Time // heartbeat broadcast period (default 20)
+	Check    rt.Time // suspicion check period (default 10)
+	Timeout  rt.Time // initial per-peer timeout (default 60)
+	Bump     rt.Time // timeout increase after each false suspicion (default 40)
 }
 
 func (c *HeartbeatConfig) defaults() {
@@ -34,47 +34,47 @@ func (c *HeartbeatConfig) defaults() {
 // heartbeats; a monitor suspects a peer whose heartbeat is overdue and, upon
 // discovering the suspicion was premature, trusts again and permanently
 // enlarges that peer's timeout. Under a partially synchronous delay policy
-// (sim.GSTDelay) every run converges: crashed processes are eventually and
+// (rt.GSTDelay) every run converges: crashed processes are eventually and
 // permanently suspected (strong completeness) and correct processes are
 // eventually never suspected (eventual strong accuracy).
 type Heartbeat struct {
 	name string
-	k    *sim.Kernel
+	k    rt.Runtime
 	mods []*hbModule
 }
 
 type hbModule struct {
-	self     sim.ProcID
-	lastBeat map[sim.ProcID]sim.Time
-	deadline map[sim.ProcID]sim.Time
-	timeout  map[sim.ProcID]sim.Time
-	suspects map[sim.ProcID]bool
+	self     rt.ProcID
+	lastBeat map[rt.ProcID]rt.Time
+	deadline map[rt.ProcID]rt.Time
+	timeout  map[rt.ProcID]rt.Time
+	suspects map[rt.ProcID]bool
 }
 
 // NewHeartbeat installs heartbeat ◇P modules at every process of k.
-func NewHeartbeat(k *sim.Kernel, name string, cfg HeartbeatConfig) *Heartbeat {
+func NewHeartbeat(k rt.Runtime, name string, cfg HeartbeatConfig) *Heartbeat {
 	cfg.defaults()
 	h := &Heartbeat{name: name, k: k, mods: make([]*hbModule, k.N())}
 	for i := 0; i < k.N(); i++ {
-		p := sim.ProcID(i)
+		p := rt.ProcID(i)
 		m := &hbModule{
 			self:     p,
-			lastBeat: make(map[sim.ProcID]sim.Time),
-			deadline: make(map[sim.ProcID]sim.Time),
-			timeout:  make(map[sim.ProcID]sim.Time),
-			suspects: make(map[sim.ProcID]bool),
+			lastBeat: make(map[rt.ProcID]rt.Time),
+			deadline: make(map[rt.ProcID]rt.Time),
+			timeout:  make(map[rt.ProcID]rt.Time),
+			suspects: make(map[rt.ProcID]bool),
 		}
 		h.mods[i] = m
 		for j := 0; j < k.N(); j++ {
 			if j == i {
 				continue
 			}
-			q := sim.ProcID(j)
+			q := rt.ProcID(j)
 			m.timeout[q] = cfg.Timeout
 			m.deadline[q] = cfg.Timeout
 		}
 		port := fmt.Sprintf("%s/hb", name)
-		k.Handle(p, port, func(msg sim.Message) {
+		k.Handle(p, port, func(msg rt.Message) {
 			m.lastBeat[msg.From] = k.Now()
 			m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
 			if m.suspects[msg.From] {
@@ -89,18 +89,18 @@ func NewHeartbeat(k *sim.Kernel, name string, cfg HeartbeatConfig) *Heartbeat {
 		var beat func()
 		beat = func() {
 			for j := 0; j < k.N(); j++ {
-				if sim.ProcID(j) != p {
-					k.Send(p, sim.ProcID(j), port, nil)
+				if rt.ProcID(j) != p {
+					k.Send(p, rt.ProcID(j), port, nil)
 				}
 			}
 			k.After(p, cfg.Interval, beat)
 		}
-		k.After(p, 1+sim.Time(i)%cfg.Interval, beat)
+		k.After(p, 1+rt.Time(i)%cfg.Interval, beat)
 		// Periodic suspicion check.
 		var check func()
 		check = func() {
 			for j := 0; j < k.N(); j++ {
-				q := sim.ProcID(j)
+				q := rt.ProcID(j)
 				if q == p || m.suspects[q] {
 					continue
 				}
@@ -120,11 +120,11 @@ func NewHeartbeat(k *sim.Kernel, name string, cfg HeartbeatConfig) *Heartbeat {
 func (h *Heartbeat) Name() string { return h.name }
 
 // Suspected implements Oracle.
-func (h *Heartbeat) Suspected(p, q sim.ProcID) bool { return h.mods[p].suspects[q] }
+func (h *Heartbeat) Suspected(p, q rt.ProcID) bool { return h.mods[p].suspects[q] }
 
 // Timeout exposes p's current adaptive timeout for q (for tests and
 // metrics).
-func (h *Heartbeat) Timeout(p, q sim.ProcID) sim.Time { return h.mods[p].timeout[q] }
+func (h *Heartbeat) Timeout(p, q rt.ProcID) rt.Time { return h.mods[p].timeout[q] }
 
 // Trusting is a model-true implementation of the trusting failure detector
 // T: a monitor suspects every peer until the first message arrives from it
@@ -134,33 +134,33 @@ func (h *Heartbeat) Timeout(p, q sim.ProcID) sim.Time { return h.mods[p].timeout
 // trust of correct processes, and trust withdrawal only upon a real crash.
 type Trusting struct {
 	name string
-	k    *sim.Kernel
+	k    rt.Runtime
 	mods []*trustModule
 }
 
 type trustModule struct {
-	heard    map[sim.ProcID]bool
-	suspects map[sim.ProcID]bool
+	heard    map[rt.ProcID]bool
+	suspects map[rt.ProcID]bool
 }
 
 // NewTrusting installs model-true T modules at every process. Interval is
 // the hello/check period (default 20).
-func NewTrusting(k *sim.Kernel, name string, interval sim.Time) *Trusting {
+func NewTrusting(k rt.Runtime, name string, interval rt.Time) *Trusting {
 	if interval <= 0 {
 		interval = 20
 	}
 	t := &Trusting{name: name, k: k, mods: make([]*trustModule, k.N())}
 	for i := 0; i < k.N(); i++ {
-		p := sim.ProcID(i)
-		m := &trustModule{heard: make(map[sim.ProcID]bool), suspects: make(map[sim.ProcID]bool)}
+		p := rt.ProcID(i)
+		m := &trustModule{heard: make(map[rt.ProcID]bool), suspects: make(map[rt.ProcID]bool)}
 		t.mods[i] = m
 		for j := 0; j < k.N(); j++ {
 			if j != i {
-				m.suspects[sim.ProcID(j)] = true // initial distrust
+				m.suspects[rt.ProcID(j)] = true // initial distrust
 			}
 		}
 		port := fmt.Sprintf("%s/hello", name)
-		k.Handle(p, port, func(msg sim.Message) {
+		k.Handle(p, port, func(msg rt.Message) {
 			m.heard[msg.From] = true
 			if m.suspects[msg.From] && !k.Crashed(msg.From) {
 				m.suspects[msg.From] = false
@@ -170,7 +170,7 @@ func NewTrusting(k *sim.Kernel, name string, interval sim.Time) *Trusting {
 		var tick func()
 		tick = func() {
 			for j := 0; j < k.N(); j++ {
-				q := sim.ProcID(j)
+				q := rt.ProcID(j)
 				if q == p {
 					continue
 				}
@@ -182,7 +182,7 @@ func NewTrusting(k *sim.Kernel, name string, interval sim.Time) *Trusting {
 			}
 			k.After(p, interval, tick)
 		}
-		k.After(p, 1+sim.Time(i)%interval, tick)
+		k.After(p, 1+rt.Time(i)%interval, tick)
 	}
 	return t
 }
@@ -191,4 +191,4 @@ func NewTrusting(k *sim.Kernel, name string, interval sim.Time) *Trusting {
 func (t *Trusting) Name() string { return t.name }
 
 // Suspected implements Oracle.
-func (t *Trusting) Suspected(p, q sim.ProcID) bool { return t.mods[p].suspects[q] }
+func (t *Trusting) Suspected(p, q rt.ProcID) bool { return t.mods[p].suspects[q] }

@@ -3,14 +3,14 @@ package detector
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // PingbackConfig tunes the query-based ◇P implementation.
 type PingbackConfig struct {
-	Period  sim.Time // query period (default 25)
-	Timeout sim.Time // initial round-trip timeout (default 60)
-	Bump    sim.Time // timeout increase after each false suspicion (default 40)
+	Period  rt.Time // query period (default 25)
+	Timeout rt.Time // initial round-trip timeout (default 60)
+	Bump    rt.Time // timeout increase after each false suspicion (default 40)
 }
 
 func (c *PingbackConfig) defaults() {
@@ -36,50 +36,50 @@ func (c *PingbackConfig) defaults() {
 // checkers, and E13 compares their mistake/latency trade-offs.
 type Pingback struct {
 	name string
-	k    *sim.Kernel
+	k    rt.Runtime
 	mods []*pbModule
 }
 
 type pbModule struct {
-	self     sim.ProcID
-	seq      map[sim.ProcID]int64    // current query number per peer
-	sentAt   map[sim.ProcID]sim.Time // send time of the current query
-	answered map[sim.ProcID]bool     // current query answered?
-	timeout  map[sim.ProcID]sim.Time
-	suspects map[sim.ProcID]bool
+	self     rt.ProcID
+	seq      map[rt.ProcID]int64    // current query number per peer
+	sentAt   map[rt.ProcID]rt.Time // send time of the current query
+	answered map[rt.ProcID]bool     // current query answered?
+	timeout  map[rt.ProcID]rt.Time
+	suspects map[rt.ProcID]bool
 }
 
 type pingMsg struct{ Seq int64 }
 type pongMsg struct{ Seq int64 }
 
 // NewPingback installs query-based ◇P modules at every process of k.
-func NewPingback(k *sim.Kernel, name string, cfg PingbackConfig) *Pingback {
+func NewPingback(k rt.Runtime, name string, cfg PingbackConfig) *Pingback {
 	cfg.defaults()
 	pb := &Pingback{name: name, k: k, mods: make([]*pbModule, k.N())}
 	for i := 0; i < k.N(); i++ {
-		p := sim.ProcID(i)
+		p := rt.ProcID(i)
 		m := &pbModule{
 			self:     p,
-			seq:      make(map[sim.ProcID]int64),
-			sentAt:   make(map[sim.ProcID]sim.Time),
-			answered: make(map[sim.ProcID]bool),
-			timeout:  make(map[sim.ProcID]sim.Time),
-			suspects: make(map[sim.ProcID]bool),
+			seq:      make(map[rt.ProcID]int64),
+			sentAt:   make(map[rt.ProcID]rt.Time),
+			answered: make(map[rt.ProcID]bool),
+			timeout:  make(map[rt.ProcID]rt.Time),
+			suspects: make(map[rt.ProcID]bool),
 		}
 		pb.mods[i] = m
 		for j := 0; j < k.N(); j++ {
 			if j != i {
-				m.timeout[sim.ProcID(j)] = cfg.Timeout
-				m.answered[sim.ProcID(j)] = true // nothing outstanding yet
+				m.timeout[rt.ProcID(j)] = cfg.Timeout
+				m.answered[rt.ProcID(j)] = true // nothing outstanding yet
 			}
 		}
 		ping := fmt.Sprintf("%s/ping", name)
 		pong := fmt.Sprintf("%s/pong", name)
-		k.Handle(p, ping, func(msg sim.Message) {
+		k.Handle(p, ping, func(msg rt.Message) {
 			// Responder side: echo immediately (pure function of the query).
 			k.Send(p, msg.From, pong, pongMsg{Seq: msg.Payload.(pingMsg).Seq})
 		})
-		k.Handle(p, pong, func(msg sim.Message) {
+		k.Handle(p, pong, func(msg rt.Message) {
 			q := msg.From
 			if msg.Payload.(pongMsg).Seq != m.seq[q] {
 				return // answer to an old query
@@ -95,7 +95,7 @@ func NewPingback(k *sim.Kernel, name string, cfg PingbackConfig) *Pingback {
 		probe = func() {
 			now := k.Now()
 			for j := 0; j < k.N(); j++ {
-				q := sim.ProcID(j)
+				q := rt.ProcID(j)
 				if q == p {
 					continue
 				}
@@ -116,7 +116,7 @@ func NewPingback(k *sim.Kernel, name string, cfg PingbackConfig) *Pingback {
 			}
 			k.After(p, cfg.Period, probe)
 		}
-		k.After(p, 1+sim.Time(i)%cfg.Period, probe)
+		k.After(p, 1+rt.Time(i)%cfg.Period, probe)
 	}
 	return pb
 }
@@ -125,7 +125,7 @@ func NewPingback(k *sim.Kernel, name string, cfg PingbackConfig) *Pingback {
 func (pb *Pingback) Name() string { return pb.name }
 
 // Suspected implements Oracle.
-func (pb *Pingback) Suspected(p, q sim.ProcID) bool { return pb.mods[p].suspects[q] }
+func (pb *Pingback) Suspected(p, q rt.ProcID) bool { return pb.mods[p].suspects[q] }
 
 // Timeout exposes p's adaptive round-trip timeout for q.
-func (pb *Pingback) Timeout(p, q sim.ProcID) sim.Time { return pb.mods[p].timeout[q] }
+func (pb *Pingback) Timeout(p, q rt.ProcID) rt.Time { return pb.mods[p].timeout[q] }

@@ -16,7 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // State is a diner's phase.
@@ -65,21 +65,21 @@ type Table interface {
 	Graph() *graph.Graph
 	// Diner returns the local participant interface for process p, which
 	// must be a vertex of the conflict graph.
-	Diner(p sim.ProcID) Diner
+	Diner(p rt.ProcID) Diner
 }
 
 // Factory constructs a dining service instance wired into the kernel. The
 // reduction of the paper treats the factory as a black box: it must produce
 // a wait-free dining service (under eventual or perpetual weak exclusion
 // depending on the factory), and nothing else about it is assumed.
-type Factory func(k *sim.Kernel, g *graph.Graph, name string) Table
+type Factory func(k rt.Runtime, g *graph.Graph, name string) Table
 
 // Core is the shared diner state-machine helper embedded by Table
 // implementations. It validates transitions, emits trace records, and runs
 // callbacks. The zero value is not usable; initialize with NewCore.
 type Core struct {
-	K        *sim.Kernel
-	P        sim.ProcID
+	K        rt.Runtime
+	P        rt.ProcID
 	Inst     string
 	state    State
 	onEat    []func()
@@ -87,7 +87,7 @@ type Core struct {
 }
 
 // NewCore returns a diner core in the Thinking state.
-func NewCore(k *sim.Kernel, p sim.ProcID, inst string) *Core {
+func NewCore(k rt.Runtime, p rt.ProcID, inst string) *Core {
 	return &Core{K: k, P: p, Inst: inst}
 }
 
@@ -116,7 +116,7 @@ func (c *Core) Set(s State) {
 		panic(fmt.Sprintf("dining: illegal transition %v -> %v at %d (%s)", c.state, s, c.P, c.Inst))
 	}
 	c.state = s
-	c.K.Emit(sim.Record{P: c.P, Kind: "state", Peer: -1, Inst: c.Inst, Note: s.String()})
+	c.K.Emit(rt.Record{P: c.P, Kind: "state", Peer: -1, Inst: c.Inst, Note: s.String()})
 	for _, f := range c.onChange {
 		f(s)
 	}
@@ -130,17 +130,17 @@ func (c *Core) Set(s State) {
 // DriverConfig shapes the synthetic think/eat client behavior used by tests,
 // examples and benchmarks.
 type DriverConfig struct {
-	ThinkMin, ThinkMax sim.Time // thinking duration before the next hunger
-	EatMin, EatMax     sim.Time // eating duration before Exit
+	ThinkMin, ThinkMax rt.Time // thinking duration before the next hunger
+	EatMin, EatMax     rt.Time // eating duration before Exit
 	Meals              int      // stop after this many meals; 0 = forever
-	FirstHunger        sim.Time // delay before the first hunger (0 = ThinkMin..ThinkMax)
+	FirstHunger        rt.Time // delay before the first hunger (0 = ThinkMin..ThinkMax)
 	NeverExit          bool     // enter the critical section once and stay (used by the Section-3 counterexample)
 }
 
 // Drive attaches a synthetic client to diner d at process p: it cycles
 // thinking -> hungry -> eating -> exiting with randomized durations drawn
 // from the kernel's deterministic random source.
-func Drive(k *sim.Kernel, p sim.ProcID, d Diner, cfg DriverConfig) {
+func Drive(k rt.Runtime, p rt.ProcID, d Diner, cfg DriverConfig) {
 	if cfg.ThinkMax < cfg.ThinkMin {
 		cfg.ThinkMax = cfg.ThinkMin
 	}
@@ -148,8 +148,8 @@ func Drive(k *sim.Kernel, p sim.ProcID, d Diner, cfg DriverConfig) {
 		cfg.EatMax = cfg.EatMin
 	}
 	meals := 0
-	var scheduleHunger func(after sim.Time)
-	scheduleHunger = func(after sim.Time) {
+	var scheduleHunger func(after rt.Time)
+	scheduleHunger = func(after rt.Time) {
 		k.After(p, after, func() {
 			if d.State() == Thinking {
 				d.Hungry()
@@ -182,12 +182,12 @@ func Drive(k *sim.Kernel, p sim.ProcID, d Diner, cfg DriverConfig) {
 	scheduleHunger(first)
 }
 
-func span(k *sim.Kernel, lo, hi sim.Time) sim.Time {
+func span(k rt.Runtime, lo, hi rt.Time) rt.Time {
 	if lo < 1 {
 		lo = 1
 	}
 	if hi <= lo {
 		return lo
 	}
-	return lo + sim.Time(k.Rand().Int63n(int64(hi-lo+1)))
+	return lo + rt.Time(k.Rand().Int63n(int64(hi-lo+1)))
 }

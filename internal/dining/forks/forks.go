@@ -36,29 +36,29 @@ import (
 	"repro/internal/detector"
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Config tunes the algorithm.
 type Config struct {
 	// Retry is the request retransmission period while hungry (default 25).
-	Retry sim.Time
+	Retry rt.Time
 }
 
 // Table is a fork-algorithm dining instance.
 type Table struct {
 	name string
 	g    *graph.Graph
-	mods map[sim.ProcID]*module
+	mods map[rt.ProcID]*module
 }
 
 // New builds a WF-◇WX dining instance over g, consulting oracle (expected
 // to satisfy the ◇P axioms) for the suspicion override.
-func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
+func New(k rt.Runtime, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
 	if cfg.Retry <= 0 {
 		cfg.Retry = 25
 	}
-	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*module)}
+	t := &Table{name: name, g: g, mods: make(map[rt.ProcID]*module)}
 	for _, p := range g.Nodes() {
 		t.mods[p] = newModule(k, g, name, p, oracle, cfg)
 	}
@@ -68,7 +68,7 @@ func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg
 // Factory returns a dining.Factory that builds fork tables bound to the
 // given oracle — the black-box shape the reduction consumes.
 func Factory(oracle detector.Oracle, cfg Config) dining.Factory {
-	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+	return func(k rt.Runtime, g *graph.Graph, name string) dining.Table {
 		return New(k, g, name, oracle, cfg)
 	}
 }
@@ -80,7 +80,7 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Graph() *graph.Graph { return t.g }
 
 // Diner implements dining.Table.
-func (t *Table) Diner(p sim.ProcID) dining.Diner {
+func (t *Table) Diner(p rt.ProcID) dining.Diner {
 	m, ok := t.mods[p]
 	if !ok {
 		panic(fmt.Sprintf("forks: %d is not a diner of %s", p, t.name))
@@ -91,7 +91,7 @@ func (t *Table) Diner(p sim.ProcID) dining.Diner {
 // HoldsFork reports whether p currently holds the fork of edge (p, q). At
 // most one endpoint holds a given fork at any time (it may also be in
 // transit); tests use this to verify fork conservation.
-func (t *Table) HoldsFork(p, q sim.ProcID) bool {
+func (t *Table) HoldsFork(p, q rt.ProcID) bool {
 	m, ok := t.mods[p]
 	if !ok {
 		return false
@@ -114,10 +114,10 @@ type forkMsg struct{}
 
 type module struct {
 	*dining.Core
-	k      *sim.Kernel
-	self   sim.ProcID
-	nbrs   []sim.ProcID
-	edges  map[sim.ProcID]*edge
+	k      rt.Runtime
+	self   rt.ProcID
+	nbrs   []rt.ProcID
+	edges  map[rt.ProcID]*edge
 	view   detector.View
 	cfg    Config
 	prefix string
@@ -126,13 +126,13 @@ type module struct {
 	hungerTS int64 // timestamp of the current hunger session
 }
 
-func newModule(k *sim.Kernel, g *graph.Graph, name string, p sim.ProcID, oracle detector.Oracle, cfg Config) *module {
+func newModule(k rt.Runtime, g *graph.Graph, name string, p rt.ProcID, oracle detector.Oracle, cfg Config) *module {
 	m := &module{
 		Core:   dining.NewCore(k, p, name),
 		k:      k,
 		self:   p,
 		nbrs:   g.Neighbors(p),
-		edges:  make(map[sim.ProcID]*edge),
+		edges:  make(map[rt.ProcID]*edge),
 		view:   detector.View{Oracle: oracle, Self: p},
 		cfg:    cfg,
 		prefix: name,
@@ -189,7 +189,7 @@ func (m *module) finishExit() {
 
 // older reports whether claim (ts, p) precedes claim (ts2, q) in the global
 // priority order.
-func older(ts int64, p sim.ProcID, ts2 int64, q sim.ProcID) bool {
+func older(ts int64, p rt.ProcID, ts2 int64, q rt.ProcID) bool {
 	if ts != ts2 {
 		return ts < ts2
 	}
@@ -199,7 +199,7 @@ func older(ts int64, p sim.ProcID, ts2 int64, q sim.ProcID) bool {
 // onReq decides a fork request: yield unless we are eating, or hungry with
 // the older claim. A request for a fork we do not hold is remembered too:
 // non-FIFO channels can deliver a request ahead of the fork it chases.
-func (m *module) onReq(msg sim.Message) {
+func (m *module) onReq(msg rt.Message) {
 	q := msg.From
 	e, ok := m.edges[q]
 	if !ok {
@@ -229,7 +229,7 @@ func (m *module) onReq(msg sim.Message) {
 
 // onFork records fork receipt (accepted in any state) and serves a deferred
 // request if we are no longer competing.
-func (m *module) onFork(msg sim.Message) {
+func (m *module) onFork(msg rt.Message) {
 	e, ok := m.edges[msg.From]
 	if !ok {
 		return
@@ -241,7 +241,7 @@ func (m *module) onFork(msg sim.Message) {
 }
 
 // yield transfers the fork to q.
-func (m *module) yield(q sim.ProcID) {
+func (m *module) yield(q rt.ProcID) {
 	e := m.edges[q]
 	e.hold = false
 	e.wanted = false

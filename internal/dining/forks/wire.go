@@ -1,0 +1,11 @@
+package forks
+
+import "encoding/gob"
+
+// RegisterWire registers the table's message payload types for gob transit
+// over a networked bus (internal/live's TCP bus). Call it once per process
+// image before connecting nodes; it is idempotent within a process.
+func RegisterWire() {
+	gob.Register(reqMsg{})
+	gob.Register(forkMsg{})
+}

@@ -22,25 +22,25 @@ import (
 
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Table is a centralized dining instance.
 type Table struct {
 	name  string
 	g     *graph.Graph
-	mods  map[sim.ProcID]*stub
+	mods  map[rt.ProcID]*stub
 	coord *coordinator
 }
 
 // New builds a centralized ℙWX wait-free dining instance over g whose
 // coordinator runs at process coord (which must not be a vertex of g and
 // must never crash).
-func New(k *sim.Kernel, g *graph.Graph, name string, coord sim.ProcID) *Table {
+func New(k rt.Runtime, g *graph.Graph, name string, coord rt.ProcID) *Table {
 	if g.Has(coord) {
 		panic(fmt.Sprintf("perfect: coordinator %d must not be a diner of %s", coord, name))
 	}
-	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*stub)}
+	t := &Table{name: name, g: g, mods: make(map[rt.ProcID]*stub)}
 	t.coord = newCoordinator(k, g, name, coord)
 	for _, p := range g.Nodes() {
 		t.mods[p] = newStub(k, name, p, coord)
@@ -50,9 +50,9 @@ func New(k *sim.Kernel, g *graph.Graph, name string, coord sim.ProcID) *Table {
 
 // Factory returns a dining.Factory producing centralized tables whose
 // coordinators are allocated round-robin from coords.
-func Factory(coords []sim.ProcID) dining.Factory {
+func Factory(coords []rt.ProcID) dining.Factory {
 	next := 0
-	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+	return func(k rt.Runtime, g *graph.Graph, name string) dining.Table {
 		c := coords[next%len(coords)]
 		next++
 		return New(k, g, name, c)
@@ -66,7 +66,7 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Graph() *graph.Graph { return t.g }
 
 // Diner implements dining.Table.
-func (t *Table) Diner(p sim.ProcID) dining.Diner {
+func (t *Table) Diner(p rt.ProcID) dining.Diner {
 	m, ok := t.mods[p]
 	if !ok {
 		panic(fmt.Sprintf("perfect: %d is not a diner of %s", p, t.name))
@@ -78,16 +78,16 @@ func (t *Table) Diner(p sim.ProcID) dining.Diner {
 // local state machine.
 type stub struct {
 	*dining.Core
-	k     *sim.Kernel
-	self  sim.ProcID
-	coord sim.ProcID
+	k     rt.Runtime
+	self  rt.ProcID
+	coord rt.ProcID
 	name  string
 	seq   int64 // hunger session number; brackets HUNGRY/EXIT pairs
 }
 
-func newStub(k *sim.Kernel, name string, p, coord sim.ProcID) *stub {
+func newStub(k rt.Runtime, name string, p, coord rt.ProcID) *stub {
 	s := &stub{Core: dining.NewCore(k, p, name), k: k, self: p, coord: coord, name: name}
-	k.Handle(p, name+"/eat", func(sim.Message) {
+	k.Handle(p, name+"/eat", func(rt.Message) {
 		if s.State() == dining.Hungry {
 			s.Set(dining.Eating)
 		}
@@ -113,26 +113,26 @@ func (s *stub) Exit() {
 
 // request is one queued hunger (diner plus its session number).
 type request struct {
-	p   sim.ProcID
+	p   rt.ProcID
 	seq int64
 }
 
 // coordinator is the service-side scheduler.
 type coordinator struct {
-	k      *sim.Kernel
+	k      rt.Runtime
 	g      *graph.Graph
 	name   string
-	self   sim.ProcID
+	self   rt.ProcID
 	hungry []request            // FIFO arrival order
-	eating map[sim.ProcID]int64 // eater -> session number of the booking
+	eating map[rt.ProcID]int64 // eater -> session number of the booking
 }
 
-func newCoordinator(k *sim.Kernel, g *graph.Graph, name string, self sim.ProcID) *coordinator {
-	c := &coordinator{k: k, g: g, name: name, self: self, eating: make(map[sim.ProcID]int64)}
-	k.Handle(self, name+"/hungry", func(m sim.Message) {
+func newCoordinator(k rt.Runtime, g *graph.Graph, name string, self rt.ProcID) *coordinator {
+	c := &coordinator{k: k, g: g, name: name, self: self, eating: make(map[rt.ProcID]int64)}
+	k.Handle(self, name+"/hungry", func(m rt.Message) {
 		c.hungry = append(c.hungry, request{p: m.From, seq: m.Payload.(int64)})
 	})
-	k.Handle(self, name+"/exit", func(m sim.Message) {
+	k.Handle(self, name+"/exit", func(m rt.Message) {
 		// A stale EXIT (overtaken by the next HUNGRY of the same diner)
 		// must not unbook a newer session.
 		if c.eating[m.From] == m.Payload.(int64) {
@@ -151,7 +151,7 @@ func newCoordinator(k *sim.Kernel, g *graph.Graph, name string, self sim.ProcID)
 // blocked reports whether granting p now would book two live neighbors.
 // Crashed diners are released from the books lazily here (the fault
 // schedule stands in for the trusting oracle, per the package comment).
-func (c *coordinator) blocked(p sim.ProcID) bool {
+func (c *coordinator) blocked(p rt.ProcID) bool {
 	for _, q := range c.g.Neighbors(p) {
 		if _, ok := c.eating[q]; ok {
 			if c.k.Crashed(q) {
@@ -190,8 +190,8 @@ func (c *coordinator) grant() {
 }
 
 // Eaters returns the coordinator's current books, sorted (for tests).
-func (t *Table) Eaters() []sim.ProcID {
-	out := make([]sim.ProcID, 0, len(t.coord.eating))
+func (t *Table) Eaters() []rt.ProcID {
+	out := make([]rt.ProcID, 0, len(t.coord.eating))
 	for p := range t.coord.eating {
 		out = append(out, p)
 	}

@@ -31,35 +31,35 @@ import (
 	"repro/internal/detector"
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Config tunes the token box.
 type Config struct {
 	// Timeout is the initial token-absence timeout before a hungry diner
 	// regenerates (default 400; it doubles on every duplication observed).
-	Timeout sim.Time
+	Timeout rt.Time
 	// Check is the regeneration check period (default 50).
-	Check sim.Time
+	Check rt.Time
 }
 
 // Table is a token dining instance.
 type Table struct {
 	name string
 	g    *graph.Graph
-	mods map[sim.ProcID]*module
+	mods map[rt.ProcID]*module
 }
 
 // New builds a token WF-◇WX dining instance over g. oracle (◇P class) is
 // used to skip crashed diners when forwarding.
-func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
+func New(k rt.Runtime, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 400
 	}
 	if cfg.Check <= 0 {
 		cfg.Check = 50
 	}
-	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*module)}
+	t := &Table{name: name, g: g, mods: make(map[rt.ProcID]*module)}
 	nodes := g.Nodes()
 	for i, p := range nodes {
 		t.mods[p] = newModule(k, name, p, nodes, i, oracle, cfg)
@@ -69,7 +69,7 @@ func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg
 
 // Factory returns a dining.Factory building token tables bound to oracle.
 func Factory(oracle detector.Oracle, cfg Config) dining.Factory {
-	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+	return func(k rt.Runtime, g *graph.Graph, name string) dining.Table {
 		return New(k, g, name, oracle, cfg)
 	}
 }
@@ -81,7 +81,7 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Graph() *graph.Graph { return t.g }
 
 // Diner implements dining.Table.
-func (t *Table) Diner(p sim.ProcID) dining.Diner {
+func (t *Table) Diner(p rt.ProcID) dining.Diner {
 	m, ok := t.mods[p]
 	if !ok {
 		panic(fmt.Sprintf("token: %d is not a diner of %s", p, t.name))
@@ -95,7 +95,7 @@ func (t *Table) Diner(p sim.ProcID) dining.Diner {
 // that has seen the winner.
 type epoch struct {
 	C int64
-	M sim.ProcID
+	M rt.ProcID
 }
 
 func (e epoch) less(o epoch) bool {
@@ -111,9 +111,9 @@ type tokenMsg struct {
 
 type module struct {
 	*dining.Core
-	k      *sim.Kernel
-	self   sim.ProcID
-	ring   []sim.ProcID // all diners in id order
+	k      rt.Runtime
+	self   rt.ProcID
+	ring   []rt.ProcID // all diners in id order
 	idx    int          // our position in ring
 	view   detector.View
 	cfg    Config
@@ -122,12 +122,12 @@ type module struct {
 	hasToken  bool
 	cur       epoch    // epoch of the held token
 	maxSeen   epoch    // highest epoch ever seen
-	lastSeen  sim.Time // when the token last visited us
-	timeout   sim.Time // adaptive regeneration timeout
+	lastSeen  rt.Time // when the token last visited us
+	timeout   rt.Time // adaptive regeneration timeout
 	eatingNow bool     // we eat with the token and forward on exit
 }
 
-func newModule(k *sim.Kernel, name string, p sim.ProcID, ring []sim.ProcID, idx int, oracle detector.Oracle, cfg Config) *module {
+func newModule(k rt.Runtime, name string, p rt.ProcID, ring []rt.ProcID, idx int, oracle detector.Oracle, cfg Config) *module {
 	m := &module{
 		Core:    dining.NewCore(k, p, name),
 		k:       k,
@@ -152,7 +152,7 @@ func newModule(k *sim.Kernel, name string, p sim.ProcID, ring []sim.ProcID, idx 
 		m.maybeRegenerate()
 		k.After(p, cfg.Check, check)
 	}
-	k.After(p, 1+sim.Time(idx)%cfg.Check, check)
+	k.After(p, 1+rt.Time(idx)%cfg.Check, check)
 	return m
 }
 
@@ -205,7 +205,7 @@ func (m *module) finishExit() {
 	// The forward action's guard is enabled now; the kernel will run it.
 }
 
-func (m *module) onToken(msg sim.Message) {
+func (m *module) onToken(msg rt.Message) {
 	tok := msg.Payload.(tokenMsg)
 	if tok.Epoch.less(m.maxSeen) {
 		// A duplicate from a stale epoch: destroy it, and learn that
@@ -246,6 +246,6 @@ func (m *module) maybeRegenerate() {
 	m.cur = m.maxSeen
 	m.hasToken = true
 	m.lastSeen = m.k.Now()
-	m.k.Emit(sim.Record{P: m.self, Kind: "mark", Peer: -1, Inst: m.prefix,
+	m.k.Emit(rt.Record{P: m.self, Kind: "mark", Peer: -1, Inst: m.prefix,
 		Note: fmt.Sprintf("regenerate epoch=%d.%d", m.cur.C, m.cur.M)})
 }

@@ -28,24 +28,24 @@ import (
 
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Table is a trap dining instance.
 type Table struct {
 	name  string
 	g     *graph.Graph
-	mods  map[sim.ProcID]*stub
+	mods  map[rt.ProcID]*stub
 	coord *coordinator
 }
 
 // New builds a trap table over g with the coordinator at coord (not a
 // vertex of g, never crashed) and the given mistake-era end.
-func New(k *sim.Kernel, g *graph.Graph, name string, coord sim.ProcID, mistakeUntil sim.Time) *Table {
+func New(k rt.Runtime, g *graph.Graph, name string, coord rt.ProcID, mistakeUntil rt.Time) *Table {
 	if g.Has(coord) {
 		panic(fmt.Sprintf("trap: coordinator %d must not be a diner of %s", coord, name))
 	}
-	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*stub)}
+	t := &Table{name: name, g: g, mods: make(map[rt.ProcID]*stub)}
 	t.coord = newCoordinator(k, g, name, coord, mistakeUntil)
 	for _, p := range g.Nodes() {
 		t.mods[p] = newStub(k, name, p, coord)
@@ -55,9 +55,9 @@ func New(k *sim.Kernel, g *graph.Graph, name string, coord sim.ProcID, mistakeUn
 
 // Factory returns a dining.Factory producing trap tables, allocating
 // coordinators round-robin from coords.
-func Factory(coords []sim.ProcID, mistakeUntil sim.Time) dining.Factory {
+func Factory(coords []rt.ProcID, mistakeUntil rt.Time) dining.Factory {
 	next := 0
-	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+	return func(k rt.Runtime, g *graph.Graph, name string) dining.Table {
 		c := coords[next%len(coords)]
 		next++
 		return New(k, g, name, c, mistakeUntil)
@@ -71,7 +71,7 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Graph() *graph.Graph { return t.g }
 
 // Diner implements dining.Table.
-func (t *Table) Diner(p sim.ProcID) dining.Diner {
+func (t *Table) Diner(p rt.ProcID) dining.Diner {
 	m, ok := t.mods[p]
 	if !ok {
 		panic(fmt.Sprintf("trap: %d is not a diner of %s", p, t.name))
@@ -81,16 +81,16 @@ func (t *Table) Diner(p sim.ProcID) dining.Diner {
 
 type stub struct {
 	*dining.Core
-	k     *sim.Kernel
-	self  sim.ProcID
-	coord sim.ProcID
+	k     rt.Runtime
+	self  rt.ProcID
+	coord rt.ProcID
 	name  string
 	seq   int64 // hunger session number; brackets HUNGRY/EXIT pairs
 }
 
-func newStub(k *sim.Kernel, name string, p, coord sim.ProcID) *stub {
+func newStub(k rt.Runtime, name string, p, coord rt.ProcID) *stub {
 	s := &stub{Core: dining.NewCore(k, p, name), k: k, self: p, coord: coord, name: name}
-	k.Handle(p, name+"/eat", func(sim.Message) {
+	k.Handle(p, name+"/eat", func(rt.Message) {
 		if s.State() == dining.Hungry {
 			s.Set(dining.Eating)
 		}
@@ -115,36 +115,36 @@ func (s *stub) Exit() {
 }
 
 type grantInfo struct {
-	at  sim.Time // grant time (mistake-era grants keep the escape open)
+	at  rt.Time // grant time (mistake-era grants keep the escape open)
 	seq int64    // session number of the booking
 }
 
 type coordinator struct {
-	k            *sim.Kernel
+	k            rt.Runtime
 	g            *graph.Graph
 	name         string
-	self         sim.ProcID
-	mistakeUntil sim.Time
+	self         rt.ProcID
+	mistakeUntil rt.Time
 	hungry       []request
-	eating       map[sim.ProcID]grantInfo
+	eating       map[rt.ProcID]grantInfo
 }
 
 // request is one queued hunger (diner plus its session number).
 type request struct {
-	p   sim.ProcID
+	p   rt.ProcID
 	seq int64
 }
 
-func newCoordinator(k *sim.Kernel, g *graph.Graph, name string, self sim.ProcID, mistakeUntil sim.Time) *coordinator {
+func newCoordinator(k rt.Runtime, g *graph.Graph, name string, self rt.ProcID, mistakeUntil rt.Time) *coordinator {
 	c := &coordinator{
 		k: k, g: g, name: name, self: self,
 		mistakeUntil: mistakeUntil,
-		eating:       make(map[sim.ProcID]grantInfo),
+		eating:       make(map[rt.ProcID]grantInfo),
 	}
-	k.Handle(self, name+"/hungry", func(m sim.Message) {
+	k.Handle(self, name+"/hungry", func(m rt.Message) {
 		c.hungry = append(c.hungry, request{p: m.From, seq: m.Payload.(int64)})
 	})
-	k.Handle(self, name+"/exit", func(m sim.Message) {
+	k.Handle(self, name+"/exit", func(m rt.Message) {
 		// A stale EXIT (overtaken by the next HUNGRY of the same diner)
 		// must not unbook a newer session.
 		if gi, ok := c.eating[m.From]; ok && gi.seq == m.Payload.(int64) {
@@ -161,7 +161,7 @@ func newCoordinator(k *sim.Kernel, g *graph.Graph, name string, self sim.ProcID,
 // blocked: during the mistake era nothing blocks; afterwards p is blocked
 // unless every live eating neighbor has been eating since the mistake era
 // (the escape clause that makes this a trap).
-func (c *coordinator) blocked(p sim.ProcID) bool {
+func (c *coordinator) blocked(p rt.ProcID) bool {
 	if c.k.Now() < c.mistakeUntil {
 		return false
 	}

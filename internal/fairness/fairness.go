@@ -28,12 +28,12 @@ import (
 	"repro/internal/detector"
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Config tunes the layer.
 type Config struct {
-	Retry sim.Time // request/announcement retransmission period (default 25)
+	Retry rt.Time // request/announcement retransmission period (default 25)
 	K     int      // overtaking bound (default 2, the paper's bound)
 }
 
@@ -41,19 +41,19 @@ type Config struct {
 type Table struct {
 	name string
 	g    *graph.Graph
-	mods map[sim.ProcID]*module
+	mods map[rt.ProcID]*module
 }
 
 // New builds the fair dining instance over g using oracle (any ◇P — native
 // or extracted by the reduction).
-func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
+func New(k rt.Runtime, g *graph.Graph, name string, oracle detector.Oracle, cfg Config) *Table {
 	if cfg.Retry <= 0 {
 		cfg.Retry = 25
 	}
 	if cfg.K <= 0 {
 		cfg.K = 2
 	}
-	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*module)}
+	t := &Table{name: name, g: g, mods: make(map[rt.ProcID]*module)}
 	for _, p := range g.Nodes() {
 		t.mods[p] = newModule(k, g, name, p, oracle, cfg)
 	}
@@ -62,7 +62,7 @@ func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle, cfg
 
 // Factory returns a dining.Factory building fair tables bound to oracle.
 func Factory(oracle detector.Oracle, cfg Config) dining.Factory {
-	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+	return func(k rt.Runtime, g *graph.Graph, name string) dining.Table {
 		return New(k, g, name, oracle, cfg)
 	}
 }
@@ -74,7 +74,7 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Graph() *graph.Graph { return t.g }
 
 // Diner implements dining.Table.
-func (t *Table) Diner(p sim.ProcID) dining.Diner {
+func (t *Table) Diner(p rt.ProcID) dining.Diner {
 	m, ok := t.mods[p]
 	if !ok {
 		panic(fmt.Sprintf("fairness: %d is not a diner of %s", p, t.name))
@@ -99,10 +99,10 @@ type ateMsg struct{ TS int64 } // the hunger-session timestamp the meal conclude
 
 type module struct {
 	*dining.Core
-	k      *sim.Kernel
-	self   sim.ProcID
-	nbrs   []sim.ProcID
-	edges  map[sim.ProcID]*edge
+	k      rt.Runtime
+	self   rt.ProcID
+	nbrs   []rt.ProcID
+	edges  map[rt.ProcID]*edge
 	view   detector.View
 	cfg    Config
 	prefix string
@@ -111,13 +111,13 @@ type module struct {
 	hungerTS int64
 }
 
-func newModule(k *sim.Kernel, g *graph.Graph, name string, p sim.ProcID, oracle detector.Oracle, cfg Config) *module {
+func newModule(k rt.Runtime, g *graph.Graph, name string, p rt.ProcID, oracle detector.Oracle, cfg Config) *module {
 	m := &module{
 		Core:   dining.NewCore(k, p, name),
 		k:      k,
 		self:   p,
 		nbrs:   g.Neighbors(p),
-		edges:  make(map[sim.ProcID]*edge),
+		edges:  make(map[rt.ProcID]*edge),
 		view:   detector.View{Oracle: oracle, Self: p},
 		cfg:    cfg,
 		prefix: name,
@@ -171,7 +171,7 @@ func (m *module) canEat() bool {
 	return true
 }
 
-func older(ts int64, p sim.ProcID, ts2 int64, q sim.ProcID) bool {
+func older(ts int64, p rt.ProcID, ts2 int64, q rt.ProcID) bool {
 	if ts != ts2 {
 		return ts < ts2
 	}
@@ -195,7 +195,7 @@ func (m *module) finishExit() {
 	m.Set(dining.Thinking)
 }
 
-func (m *module) onHunger(msg sim.Message) {
+func (m *module) onHunger(msg rt.Message) {
 	e := m.edges[msg.From]
 	h := msg.Payload.(hungerMsg)
 	if h.TS > m.clock {
@@ -211,7 +211,7 @@ func (m *module) onHunger(msg sim.Message) {
 	}
 }
 
-func (m *module) onAte(msg sim.Message) {
+func (m *module) onAte(msg rt.Message) {
 	// The neighbor completed a meal, concluding the announced hunger
 	// session with the given timestamp (it will announce any new one).
 	e := m.edges[msg.From]
@@ -225,7 +225,7 @@ func (m *module) onAte(msg sim.Message) {
 	}
 }
 
-func (m *module) onReq(msg sim.Message) {
+func (m *module) onReq(msg rt.Message) {
 	q := msg.From
 	e, ok := m.edges[q]
 	if !ok {
@@ -253,7 +253,7 @@ func (m *module) onReq(msg sim.Message) {
 	}
 }
 
-func (m *module) onFork(msg sim.Message) {
+func (m *module) onFork(msg rt.Message) {
 	e, ok := m.edges[msg.From]
 	if !ok {
 		return
@@ -264,7 +264,7 @@ func (m *module) onFork(msg sim.Message) {
 	}
 }
 
-func (m *module) yield(q sim.ProcID) {
+func (m *module) yield(q rt.ProcID) {
 	e := m.edges[q]
 	e.hold = false
 	e.wanted = false

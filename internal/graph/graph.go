@@ -9,26 +9,26 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Graph is an undirected conflict graph over a subset of process ids. The
 // zero value is an empty graph; use Add/AddEdge or a builder.
 type Graph struct {
-	nodes []sim.ProcID
-	adj   map[sim.ProcID][]sim.ProcID
-	edges [][2]sim.ProcID
+	nodes []rt.ProcID
+	adj   map[rt.ProcID][]rt.ProcID
+	edges [][2]rt.ProcID
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[sim.ProcID][]sim.ProcID)}
+	return &Graph{adj: make(map[rt.ProcID][]rt.ProcID)}
 }
 
 // Add inserts a vertex (idempotent).
-func (g *Graph) Add(p sim.ProcID) {
+func (g *Graph) Add(p rt.ProcID) {
 	if g.adj == nil {
-		g.adj = make(map[sim.ProcID][]sim.ProcID)
+		g.adj = make(map[rt.ProcID][]rt.ProcID)
 	}
 	if _, ok := g.adj[p]; !ok {
 		g.adj[p] = nil
@@ -39,7 +39,7 @@ func (g *Graph) Add(p sim.ProcID) {
 
 // AddEdge inserts the undirected edge (u, v), adding the vertices if needed.
 // Self-loops and duplicate edges are rejected.
-func (g *Graph) AddEdge(u, v sim.ProcID) error {
+func (g *Graph) AddEdge(u, v rt.ProcID) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
@@ -53,24 +53,24 @@ func (g *Graph) AddEdge(u, v sim.ProcID) error {
 	if u > v {
 		u, v = v, u
 	}
-	g.edges = append(g.edges, [2]sim.ProcID{u, v})
+	g.edges = append(g.edges, [2]rt.ProcID{u, v})
 	return nil
 }
 
 // Nodes returns the vertices in ascending order. The caller must not mutate
 // the returned slice.
-func (g *Graph) Nodes() []sim.ProcID { return g.nodes }
+func (g *Graph) Nodes() []rt.ProcID { return g.nodes }
 
 // Edges returns the edges with endpoints in ascending order. The caller must
 // not mutate the returned slice.
-func (g *Graph) Edges() [][2]sim.ProcID { return g.edges }
+func (g *Graph) Edges() [][2]rt.ProcID { return g.edges }
 
 // Neighbors returns u's neighbors in ascending order. The caller must not
 // mutate the returned slice.
-func (g *Graph) Neighbors(u sim.ProcID) []sim.ProcID { return g.adj[u] }
+func (g *Graph) Neighbors(u rt.ProcID) []rt.ProcID { return g.adj[u] }
 
 // HasEdge reports whether (u, v) is an edge.
-func (g *Graph) HasEdge(u, v sim.ProcID) bool {
+func (g *Graph) HasEdge(u, v rt.ProcID) bool {
 	for _, w := range g.adj[u] {
 		if w == v {
 			return true
@@ -80,7 +80,7 @@ func (g *Graph) HasEdge(u, v sim.ProcID) bool {
 }
 
 // Has reports whether u is a vertex.
-func (g *Graph) Has(u sim.ProcID) bool {
+func (g *Graph) Has(u rt.ProcID) bool {
 	_, ok := g.adj[u]
 	return ok
 }
@@ -92,7 +92,7 @@ func (g *Graph) N() int { return len(g.nodes) }
 func (g *Graph) M() int { return len(g.edges) }
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u sim.ProcID) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u rt.ProcID) int { return len(g.adj[u]) }
 
 // MaxDegree returns the maximum vertex degree (0 for the empty graph).
 func (g *Graph) MaxDegree() int {
@@ -111,8 +111,8 @@ func (g *Graph) Connected() bool {
 	if len(g.nodes) <= 1 {
 		return true
 	}
-	seen := map[sim.ProcID]bool{g.nodes[0]: true}
-	stack := []sim.ProcID{g.nodes[0]}
+	seen := map[rt.ProcID]bool{g.nodes[0]: true}
+	stack := []rt.ProcID{g.nodes[0]}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -129,8 +129,8 @@ func (g *Graph) Connected() bool {
 // GreedyColoring returns a proper vertex coloring by first-fit in id order
 // and the number of colors used. It is a scheduling-quality heuristic, not
 // an optimal coloring.
-func (g *Graph) GreedyColoring() (map[sim.ProcID]int, int) {
-	colors := make(map[sim.ProcID]int, len(g.nodes))
+func (g *Graph) GreedyColoring() (map[rt.ProcID]int, int) {
+	colors := make(map[rt.ProcID]int, len(g.nodes))
 	maxc := 0
 	for _, u := range g.nodes {
 		used := make(map[int]bool)
@@ -154,7 +154,7 @@ func (g *Graph) GreedyColoring() (map[sim.ProcID]int, int) {
 // Validate checks internal consistency (sorted unique adjacency, symmetric
 // edges, edge list matching adjacency).
 func (g *Graph) Validate() error {
-	seen := make(map[[2]sim.ProcID]bool)
+	seen := make(map[[2]rt.ProcID]bool)
 	for _, e := range g.edges {
 		if e[0] >= e[1] {
 			return fmt.Errorf("graph: unnormalized edge %v", e)
@@ -187,7 +187,7 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
 }
 
-func insertSorted(s []sim.ProcID, v sim.ProcID) []sim.ProcID {
+func insertSorted(s []rt.ProcID, v rt.ProcID) []rt.ProcID {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
@@ -197,7 +197,7 @@ func insertSorted(s []sim.ProcID, v sim.ProcID) []sim.ProcID {
 
 // Pair returns the 2-vertex graph with the single edge (a, b) — the conflict
 // graph of every dining instance used by the extraction algorithm.
-func Pair(a, b sim.ProcID) *Graph {
+func Pair(a, b rt.ProcID) *Graph {
 	g := New()
 	if err := g.AddEdge(a, b); err != nil {
 		panic(err)
@@ -213,7 +213,7 @@ func Ring(n int) *Graph {
 	}
 	g := New()
 	for i := 0; i < n; i++ {
-		mustEdge(g, sim.ProcID(i), sim.ProcID((i+1)%n))
+		mustEdge(g, rt.ProcID(i), rt.ProcID((i+1)%n))
 	}
 	return g
 }
@@ -225,7 +225,7 @@ func Path(n int) *Graph {
 	}
 	g := New()
 	for i := 0; i+1 < n; i++ {
-		mustEdge(g, sim.ProcID(i), sim.ProcID(i+1))
+		mustEdge(g, rt.ProcID(i), rt.ProcID(i+1))
 	}
 	return g
 }
@@ -239,7 +239,7 @@ func Clique(n int) *Graph {
 	g := New()
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			mustEdge(g, sim.ProcID(i), sim.ProcID(j))
+			mustEdge(g, rt.ProcID(i), rt.ProcID(j))
 		}
 	}
 	return g
@@ -252,7 +252,7 @@ func Star(n int) *Graph {
 	}
 	g := New()
 	for i := 1; i < n; i++ {
-		mustEdge(g, 0, sim.ProcID(i))
+		mustEdge(g, 0, rt.ProcID(i))
 	}
 	return g
 }
@@ -263,7 +263,7 @@ func Grid(rows, cols int) *Graph {
 		panic("graph: grid needs at least 2 vertices")
 	}
 	g := New()
-	id := func(r, c int) sim.ProcID { return sim.ProcID(r*cols + c) }
+	id := func(r, c int) rt.ProcID { return rt.ProcID(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
@@ -286,13 +286,13 @@ func Random(n int, p float64, rng *rand.Rand) *Graph {
 	g := New()
 	perm := rng.Perm(n)
 	for i := 1; i < n; i++ {
-		u := sim.ProcID(perm[i])
-		v := sim.ProcID(perm[rng.Intn(i)])
+		u := rt.ProcID(perm[i])
+		v := rt.ProcID(perm[rng.Intn(i)])
 		mustEdge(g, u, v)
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			u, v := sim.ProcID(i), sim.ProcID(j)
+			u, v := rt.ProcID(i), rt.ProcID(j)
 			if !g.HasEdge(u, v) && rng.Float64() < p {
 				mustEdge(g, u, v)
 			}
@@ -301,7 +301,7 @@ func Random(n int, p float64, rng *rand.Rand) *Graph {
 	return g
 }
 
-func mustEdge(g *Graph, u, v sim.ProcID) {
+func mustEdge(g *Graph, u, v rt.ProcID) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic(err)
 	}

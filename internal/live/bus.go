@@ -1,0 +1,111 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/rt"
+)
+
+// Bus carries inter-process messages for a live runtime. The runtime calls
+// Send for every outbound message; the bus routes it — directly back into
+// this runtime for local destinations, over the wire for remote ones — and
+// hands inbound messages to the delivery sink installed with Bind.
+//
+// Delivery guarantees are the bus's own: the channel bus is reliable, the
+// TCP bus is reliable per connection but drops messages for unreachable
+// peers, and a LossyBus deliberately isn't — layer internal/transport on the
+// runtime (transport.Enable) to rebuild reliable channels above a lossy bus.
+type Bus interface {
+	// Bind installs the local delivery sink. The runtime calls it once,
+	// before Start; the bus must not invoke deliver before Bind returns.
+	Bind(deliver func(rt.Message))
+	// Send routes one message. It must not block indefinitely; messages
+	// that cannot be routed are dropped (fair-lossy semantics).
+	Send(m rt.Message)
+	// Close releases bus resources; subsequent Sends are dropped.
+	Close() error
+}
+
+// ChanBus is the in-process bus: every process is local, and Send hands the
+// message straight to the runtime's delivery sink (which enqueues it on the
+// destination's mailbox — the channel hop every real message takes).
+type ChanBus struct {
+	mu      sync.RWMutex
+	deliver func(rt.Message)
+	closed  bool
+}
+
+// NewChanBus returns the in-process bus.
+func NewChanBus() *ChanBus { return &ChanBus{} }
+
+// Bind implements Bus.
+func (b *ChanBus) Bind(deliver func(rt.Message)) {
+	b.mu.Lock()
+	b.deliver = deliver
+	b.mu.Unlock()
+}
+
+// Send implements Bus.
+func (b *ChanBus) Send(m rt.Message) {
+	b.mu.RLock()
+	deliver, closed := b.deliver, b.closed
+	b.mu.RUnlock()
+	if closed || deliver == nil {
+		return
+	}
+	deliver(m)
+}
+
+// Close implements Bus.
+func (b *ChanBus) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return nil
+}
+
+// LossyBus wraps another bus and drops each message independently with
+// probability Drop — the live analogue of the simulator's fair-lossy
+// LinkPlan, used to exercise the reliable transport over a real scheduler.
+type LossyBus struct {
+	Inner Bus
+	Drop  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped int64
+}
+
+// NewLossyBus wraps inner; drop is the per-message drop probability.
+func NewLossyBus(inner Bus, drop float64, seed int64) *LossyBus {
+	return &LossyBus{Inner: inner, Drop: drop, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bind implements Bus.
+func (b *LossyBus) Bind(deliver func(rt.Message)) { b.Inner.Bind(deliver) }
+
+// Send implements Bus.
+func (b *LossyBus) Send(m rt.Message) {
+	b.mu.Lock()
+	drop := b.rng.Float64() < b.Drop
+	if drop {
+		b.dropped++
+	}
+	b.mu.Unlock()
+	if drop {
+		return
+	}
+	b.Inner.Send(m)
+}
+
+// Dropped returns how many messages the bus has eaten.
+func (b *LossyBus) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Close implements Bus.
+func (b *LossyBus) Close() error { return b.Inner.Close() }

@@ -1,0 +1,108 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/graph"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The differential scenario: four processes, the full ◇P extraction (every
+// ordered pair monitored via two-diner WF-◇WX boxes), one subject crashing
+// mid-run. buildExtraction is runtime-agnostic — the very same call tree
+// executes inside the discrete-event kernel and across live goroutines —
+// and validateExtraction applies the same checker invariants to both trace
+// streams. What the paper proves about the construction must hold however
+// it is scheduled; this test checks that it does.
+
+const (
+	diffProcs   = 4
+	diffCrash   = rt.ProcID(1)
+	diffHorizon = rt.Time(8000)
+	diffCrashAt = diffHorizon * 2 / 5
+)
+
+func buildExtraction(k rt.Runtime, hb detector.HeartbeatConfig) *core.Extractor {
+	oracle := detector.NewHeartbeat(k, "hb", hb)
+	procs := make([]rt.ProcID, diffProcs)
+	for i := range procs {
+		procs[i] = rt.ProcID(i)
+	}
+	return core.NewExtractor(k, procs, forks.Factory(oracle, forks.Config{}), "ex")
+}
+
+// validateExtraction asserts the run satisfies the extracted oracle's ◇P
+// axioms and the dining boxes' eventual weak exclusion — purely from the
+// record stream, so it cannot tell (and must not care) which runtime
+// produced it.
+func validateExtraction(t *testing.T, which string, l *trace.Log, horizon rt.Time) {
+	t.Helper()
+	procs := make([]rt.ProcID, diffProcs)
+	for i := range procs {
+		procs[i] = rt.ProcID(i)
+	}
+	bound := horizon * 3 / 4
+	if _, err := checker.StrongCompleteness(l, "ex", checker.AllPairs(procs), true, bound); err != nil {
+		t.Errorf("%s: strong completeness: %v", which, err)
+	}
+	if _, err := checker.EventualStrongAccuracy(l, "ex", checker.AllPairs(procs), true, bound); err != nil {
+		t.Errorf("%s: eventual strong accuracy: %v", which, err)
+	}
+	// Every two-diner box under the extraction must itself satisfy ◇WX.
+	boxes := 0
+	for _, inst := range l.Instances(trace.KindState) {
+		var p, q, i int
+		if _, err := fmt.Sscanf(inst, "ex/%d-%d/%d", &p, &q, &i); err != nil {
+			continue
+		}
+		boxes++
+		g := graph.Pair(rt.ProcID(p), rt.ProcID(q))
+		if _, err := checker.EventualWeakExclusion(l, g, inst, bound, horizon); err != nil {
+			t.Errorf("%s: box %s: %v", which, inst, err)
+		}
+	}
+	if want := diffProcs * (diffProcs - 1) * 2; boxes != want {
+		t.Errorf("%s: saw %d extraction boxes, want %d", which, boxes, want)
+	}
+	if len(l.CrashTimes()) != 1 {
+		t.Errorf("%s: expected exactly one crash record, got %v", which, l.CrashTimes())
+	}
+}
+
+// TestDifferentialExtraction drives the identical extraction scenario on
+// the simulation kernel and on the in-process live runtime and validates
+// both trace streams with the same (runtime-agnostic) checkers.
+func TestDifferentialExtraction(t *testing.T) {
+	// Simulated: deterministic, partially synchronous after GST.
+	simLog := &trace.Log{}
+	k := sim.NewKernel(diffProcs,
+		sim.WithSeed(9),
+		sim.WithTracer(simLog),
+		sim.WithDelay(sim.GSTDelay{GST: 500, PreMax: 60, PostMax: 6}),
+	)
+	buildExtraction(k, detector.HeartbeatConfig{})
+	k.CrashAt(diffCrash, diffCrashAt)
+	simEnd := k.Run(diffHorizon)
+	validateExtraction(t, "sim", simLog, simEnd)
+
+	// Live: same construction, real goroutines and wall-clock timers.
+	liveLog := &trace.Log{}
+	tick := 500 * time.Microsecond
+	r := New(Config{N: diffProcs, Tick: tick, Tracer: liveLog})
+	buildExtraction(r, liveHB)
+	r.Start()
+	time.Sleep(time.Duration(diffCrashAt) * tick)
+	r.Crash(diffCrash)
+	time.Sleep(time.Duration(diffHorizon-diffCrashAt) * tick)
+	liveEnd := r.Now()
+	r.Stop()
+	validateExtraction(t, "live", liveLog, liveEnd)
+}

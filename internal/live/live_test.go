@@ -1,0 +1,206 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/dining/forks"
+	"repro/internal/graph"
+	"repro/internal/rt"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// liveHB is a heartbeat configuration with timeouts generous enough that a
+// CI scheduler stall does not register as a false suspicion.
+var liveHB = detector.HeartbeatConfig{Interval: 20, Check: 10, Timeout: 400, Bump: 200}
+
+// buildDining wires a forks table with a heartbeat oracle and synthetic
+// drivers onto any runtime — the same code path the simulator tests use.
+func buildDining(k rt.Runtime, g *graph.Graph, hb detector.HeartbeatConfig) dining.Table {
+	oracle := detector.NewHeartbeat(k, "hb", hb)
+	tbl := forks.New(k, g, "dine", oracle, forks.Config{})
+	for _, p := range g.Nodes() {
+		dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+			ThinkMin: 10, ThinkMax: 60, EatMin: 2, EatMax: 10, FirstHunger: 30,
+		})
+	}
+	return tbl
+}
+
+// TestForksDiningLive runs the WF-◇WX forks table on the live runtime over
+// the in-process bus: a ring of five diners, one mid-run crash. The run's
+// trace is validated by the same checkers the simulator uses.
+func TestForksDiningLive(t *testing.T) {
+	log := &trace.Log{}
+	g := graph.Ring(5)
+	r := New(Config{N: 5, Tick: 500 * time.Microsecond, Tracer: log})
+	buildDining(r, g, liveHB)
+	r.Start()
+
+	time.Sleep(800 * time.Millisecond)
+	r.Crash(2)
+	time.Sleep(1700 * time.Millisecond)
+	end := r.Now()
+	r.Stop()
+
+	eat := log.Sessions("eating")
+	for _, p := range g.Nodes() {
+		meals := len(eat[trace.SessionKey{Inst: "dine", P: p}])
+		if p == 2 {
+			continue
+		}
+		if meals < 2 {
+			t.Errorf("correct diner %d ate only %d meals", p, meals)
+		}
+	}
+	// The crashed diner's neighbors must keep eating after the crash
+	// (wait-freedom via the suspicion override).
+	crashT := log.CrashTimes()[2]
+	for _, q := range g.Neighbors(2) {
+		after := 0
+		for _, iv := range eat[trace.SessionKey{Inst: "dine", P: q}] {
+			if iv.Start > crashT {
+				after++
+			}
+		}
+		if after == 0 {
+			t.Errorf("neighbor %d never ate after the crash of 2 at t=%d", q, crashT)
+		}
+	}
+	if _, err := checker.EventualWeakExclusion(log, g, "dine", end/2, end); err != nil {
+		t.Errorf("live run violates eventual weak exclusion: %v", err)
+	}
+	if r.Counter("msg.delivered") == 0 {
+		t.Error("no messages delivered")
+	}
+}
+
+// TestTransportOverLossyBus layers the reliable transport on a live bus
+// that eats 25%% of all messages: the same retransmission code that rebuilds
+// reliable channels over the simulator's fair-lossy links does it over a
+// real lossy medium, and the dining table above it stays live and safe.
+func TestTransportOverLossyBus(t *testing.T) {
+	log := &trace.Log{}
+	g := graph.Ring(4)
+	bus := NewLossyBus(NewChanBus(), 0.25, 42)
+	r := New(Config{N: 4, Tick: 500 * time.Microsecond, Tracer: log, Bus: bus})
+	transport.Enable(r, "rt", transport.Config{})
+	// On a lossy bus a dropped heartbeat arrives one retransmission timeout
+	// late; the oracle timeout must dominate that.
+	hb := detector.HeartbeatConfig{Interval: 20, Check: 10, Timeout: 600, Bump: 300}
+	buildDining(r, g, hb)
+	r.Start()
+
+	time.Sleep(2 * time.Second)
+	end := r.Now()
+	r.Stop()
+
+	if bus.Dropped() == 0 {
+		t.Fatal("lossy bus dropped nothing; the test exercised no loss")
+	}
+	eat := log.Sessions("eating")
+	for _, p := range g.Nodes() {
+		if meals := len(eat[trace.SessionKey{Inst: "dine", P: p}]); meals < 1 {
+			t.Errorf("diner %d starved over the lossy bus (%d meals)", p, meals)
+		}
+	}
+	if _, err := checker.EventualWeakExclusion(log, g, "dine", end/2, end); err != nil {
+		t.Errorf("lossy-bus run violates eventual weak exclusion: %v", err)
+	}
+	if r.Counter("transport.retransmit") == 0 {
+		t.Error("transport never retransmitted despite losses")
+	}
+}
+
+// TestTCPBusSplitRing splits a ring of four across two runtimes connected
+// by loopback TCP: node A hosts diners 0 and 1, node B hosts 2 and 3. Both
+// nodes run identical wiring; the bus routes edge traffic between them.
+func TestTCPBusSplitRing(t *testing.T) {
+	forks.RegisterWire()
+	transport.RegisterWire()
+	g := graph.Ring(4)
+
+	busA := NewTCPBus([]rt.ProcID{0, 1})
+	addr, err := busA.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	busB := NewTCPBus([]rt.ProcID{2, 3})
+	if err := busB.Dial(addr.String(), []rt.ProcID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	logA, logB := &trace.Log{}, &trace.Log{}
+	tick := time.Millisecond
+	nodeA := New(Config{N: 4, Tick: tick, Tracer: logA, Bus: busA, Local: []rt.ProcID{0, 1}})
+	nodeB := New(Config{N: 4, Tick: tick, Tracer: logB, Bus: busB, Local: []rt.ProcID{2, 3}})
+	// The transport gives exactly-once delivery even for frames sent before
+	// the listener has learned its return routes.
+	transport.Enable(nodeA, "rt", transport.Config{})
+	transport.Enable(nodeB, "rt", transport.Config{})
+	buildDining(nodeA, g, liveHB)
+	buildDining(nodeB, g, liveHB)
+	nodeA.Start()
+	nodeB.Start()
+
+	time.Sleep(2 * time.Second)
+	nodeA.Stop()
+	nodeB.Stop()
+
+	eatA, eatB := logA.Sessions("eating"), logB.Sessions("eating")
+	for _, p := range []rt.ProcID{0, 1} {
+		if meals := len(eatA[trace.SessionKey{Inst: "dine", P: p}]); meals < 1 {
+			t.Errorf("node A diner %d starved (%d meals)", p, meals)
+		}
+	}
+	for _, p := range []rt.ProcID{2, 3} {
+		if meals := len(eatB[trace.SessionKey{Inst: "dine", P: p}]); meals < 1 {
+			t.Errorf("node B diner %d starved (%d meals)", p, meals)
+		}
+	}
+}
+
+// TestInvokeSerializes checks that Invoke runs on the target's goroutine,
+// serialized with its steps, and is refused after a crash.
+func TestInvokeSerializes(t *testing.T) {
+	r := New(Config{N: 2, Tick: time.Millisecond})
+	sum := 0
+	r.AddAction(0, "noop", func() bool { return false }, func() {})
+	r.Start()
+	done := make(chan struct{})
+	for i := 0; i < 100; i++ {
+		r.Invoke(0, func() { sum++ })
+	}
+	r.Invoke(0, func() { close(done) })
+	<-done
+	if sum != 100 {
+		t.Fatalf("sum = %d, want 100 (jobs lost or reordered)", sum)
+	}
+	r.Crash(1)
+	if r.Invoke(1, func() {}) {
+		t.Error("Invoke accepted at a crashed process")
+	}
+	if !r.Crashed(1) || r.Crashed(0) {
+		t.Error("Crashed() ground truth wrong")
+	}
+	r.Stop()
+	if r.Invoke(0, func() {}) {
+		t.Error("Invoke accepted after Stop")
+	}
+}
+
+// TestDuplicateHandlerPanics mirrors the simulator's registration contract.
+func TestDuplicateHandlerPanics(t *testing.T) {
+	r := New(Config{N: 1})
+	r.Handle(0, "x", func(rt.Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Handle did not panic")
+		}
+	}()
+	r.Handle(0, "x", func(rt.Message) {})
+}

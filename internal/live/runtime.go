@@ -1,0 +1,518 @@
+// Package live executes protocol code in real time: each process is a
+// goroutine with its own mailbox, timers are wall-clock, and messages travel
+// over a pluggable Bus (in-process channels, or length-prefixed TCP frames
+// between runtimes on different machines).
+//
+// Runtime implements rt.Runtime — the same interface the discrete-event
+// simulator (internal/sim) implements — so the dining tables, failure
+// detectors, and the paper's extraction run unmodified on both. What changes
+// is the determinism contract: the simulator replays a run exactly from its
+// seed, while here the scheduler is the operating system and the network is
+// real, so runs are not reproducible. The trace vocabulary is identical,
+// which is what keeps the checkers (internal/checker) runtime-agnostic: a
+// live run's record stream is validated by exactly the code that validates
+// simulated runs.
+//
+// Execution model. Every local process runs a loop that interleaves mailbox
+// jobs (message deliveries, timer callbacks, injected client calls) with
+// guarded-action steps, one action per iteration chosen by rotating through
+// the action list — the same weak-fairness discipline as the simulator's
+// step scheduler. All of a process's handlers, timer callbacks, and action
+// bodies execute on its own goroutine, so process-local protocol state needs
+// no locking, exactly as in the simulator.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// Config shapes a live runtime.
+type Config struct {
+	// N is the number of processes in the system (across all nodes).
+	N int
+	// Tick is the wall-clock duration of one rt.Time tick (default 1ms).
+	// Protocol timer constants (heartbeat intervals, retry periods) are in
+	// ticks, so Tick scales the whole system's tempo.
+	Tick time.Duration
+	// StepEvery is the minimum wall-clock spacing between consecutive
+	// guarded-action steps of one process (default: one Tick). Message and
+	// timer handling is never paced. Pacing carries the simulator's rule
+	// that a step occupies time into real time: without it, a permanently
+	// enabled action cycle — e.g. the extraction's witness threads dining
+	// forever past a subject's crash — busy-spins its goroutine and starves
+	// everything else of CPU.
+	StepEvery time.Duration
+	// Seed seeds the runtime's random source (default 1). Unlike the
+	// simulator, seeding does not make runs reproducible — it only makes
+	// the randomness well-defined.
+	Seed int64
+	// Tracer receives every emitted record; may be nil. Trace calls are
+	// serialized by the runtime, so a plain *trace.Log works.
+	Tracer rt.Tracer
+	// Bus carries inter-process messages. Nil means the in-process channel
+	// bus (all processes local to this runtime).
+	Bus Bus
+	// Local lists the processes this runtime hosts (nil = all N). In a
+	// multi-node deployment each node builds the full protocol wiring but
+	// starts goroutines only for its local processes; the bus routes
+	// messages addressed to remote processes.
+	Local []rt.ProcID
+}
+
+// process is the runtime-side bookkeeping for one process.
+type process struct {
+	id       rt.ProcID
+	local    bool
+	handlers map[string]rt.Handler
+	actions  []action
+	rot      int // rotation cursor for weakly fair action selection
+
+	mu      sync.Mutex
+	queue   []func() // pending jobs: deliveries, timers, injected calls
+	notify  chan struct{}
+	crashed atomic.Bool
+
+	nextStep time.Time // earliest wall time for the next action step
+}
+
+type action struct {
+	name  string
+	guard func() bool
+	body  func()
+}
+
+// Runtime is the real-time implementation of rt.Runtime (and of
+// rt.TransportRuntime, so internal/transport's retransmission layer can be
+// enabled over an unreliable bus).
+type Runtime struct {
+	cfg       Config
+	tick      time.Duration
+	stepEvery time.Duration
+	procs     []*process
+	bus       Bus
+
+	start   time.Time
+	started atomic.Bool
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	emitMu sync.Mutex
+	seq    int64
+	tracer rt.Tracer
+
+	rng *rand.Rand // over a locked source: safe for concurrent draws
+
+	cntMu    sync.Mutex
+	counters map[string]int64
+
+	sendHook atomic.Value // of rt.SendHook
+}
+
+var (
+	_ rt.Runtime          = (*Runtime)(nil)
+	_ rt.TransportRuntime = (*Runtime)(nil)
+)
+
+// lockedSource is a goroutine-safe rand.Source64.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// New creates a live runtime for cfg.N processes. Wire up protocol modules
+// (which call Handle/AddAction) between New and Start.
+func New(cfg Config) *Runtime {
+	if cfg.N <= 0 {
+		panic("live: Config.N must be positive")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.StepEvery <= 0 {
+		cfg.StepEvery = cfg.Tick
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r := &Runtime{
+		cfg:       cfg,
+		tick:      cfg.Tick,
+		stepEvery: cfg.StepEvery,
+		bus:       cfg.Bus,
+		tracer:    cfg.Tracer,
+		stop:      make(chan struct{}),
+		counters:  make(map[string]int64),
+		rng:       rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
+		start:     time.Now(),
+	}
+	if r.bus == nil {
+		r.bus = NewChanBus()
+	}
+	local := make(map[rt.ProcID]bool, cfg.N)
+	if cfg.Local == nil {
+		for i := 0; i < cfg.N; i++ {
+			local[rt.ProcID(i)] = true
+		}
+	} else {
+		for _, p := range cfg.Local {
+			local[p] = true
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := rt.ProcID(i)
+		r.procs = append(r.procs, &process{
+			id:       p,
+			local:    local[p],
+			handlers: make(map[string]rt.Handler),
+			notify:   make(chan struct{}, 1),
+		})
+	}
+	r.bus.Bind(r.inject)
+	return r
+}
+
+// Start launches one goroutine per local process. Registration
+// (Handle/AddAction) must be complete before Start.
+func (r *Runtime) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		panic("live: Start called twice")
+	}
+	r.start = time.Now()
+	for _, pr := range r.procs {
+		if !pr.local {
+			continue
+		}
+		r.wg.Add(1)
+		go func(pr *process) {
+			defer r.wg.Done()
+			r.loop(pr)
+		}(pr)
+	}
+}
+
+// Stop shuts the runtime down: process loops exit after finishing their
+// current step, pending timers become no-ops, and the bus is closed. Stop
+// blocks until every process goroutine has returned. It is idempotent.
+func (r *Runtime) Stop() {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(r.stop)
+	r.wg.Wait()
+	r.bus.Close()
+}
+
+// N implements rt.Runtime.
+func (r *Runtime) N() int { return len(r.procs) }
+
+// Now implements rt.Runtime: wall-clock ticks since Start.
+func (r *Runtime) Now() rt.Time { return rt.Time(time.Since(r.start) / r.tick) }
+
+// Rand implements rt.Runtime. The returned source is safe for concurrent
+// use by all processes.
+func (r *Runtime) Rand() *rand.Rand { return r.rng }
+
+// Crashed implements rt.Runtime: whether p was administratively crashed
+// with Crash. (A live runtime has no other crash ground truth.)
+func (r *Runtime) Crashed(p rt.ProcID) bool { return r.procs[p].crashed.Load() }
+
+// AddAction implements rt.Runtime. Must be called before Start.
+func (r *Runtime) AddAction(p rt.ProcID, name string, guard func() bool, body func()) {
+	r.mustWire("AddAction")
+	pr := r.procs[p]
+	pr.actions = append(pr.actions, action{name: name, guard: guard, body: body})
+}
+
+// Handle implements rt.Runtime. Must be called before Start.
+func (r *Runtime) Handle(p rt.ProcID, port string, h rt.Handler) {
+	r.mustWire("Handle")
+	pr := r.procs[p]
+	if _, dup := pr.handlers[port]; dup {
+		panic(fmt.Sprintf("live: duplicate handler for port %q at process %d", port, p))
+	}
+	pr.handlers[port] = h
+}
+
+func (r *Runtime) mustWire(what string) {
+	if r.started.Load() {
+		panic("live: " + what + " after Start")
+	}
+}
+
+// Send implements rt.Runtime: the message is routed by the bus, unless a
+// transport send hook consumes it first.
+func (r *Runtime) Send(from, to rt.ProcID, port string, payload any) {
+	m := rt.Message{From: from, To: to, Port: port, Payload: payload}
+	if h, ok := r.sendHook.Load().(rt.SendHook); ok && h != nil && h(m) {
+		return
+	}
+	r.RawSend(from, to, port, payload)
+}
+
+// RawSend implements rt.TransportRuntime: ship directly on the bus,
+// bypassing any send hook.
+func (r *Runtime) RawSend(from, to rt.ProcID, port string, payload any) {
+	if r.stopped.Load() {
+		return
+	}
+	r.Count("msg.sent", 1)
+	r.bus.Send(rt.Message{From: from, To: to, Port: port, Payload: payload})
+}
+
+// SetSendHook implements rt.TransportRuntime.
+func (r *Runtime) SetSendHook(h rt.SendHook) { r.sendHook.Store(h) }
+
+// Dispatch implements rt.TransportRuntime: deliver m to the handler
+// registered for its port at m.To, as that process's own atomic step.
+// Unlike the simulator's synchronous Dispatch, delivery is asynchronous —
+// the handler runs on the destination's goroutine — which is the only
+// execution order a real system has anyway.
+func (r *Runtime) Dispatch(m rt.Message) { r.inject(m) }
+
+// inject is the bus's local delivery sink: run the registered handler at
+// the destination as one of its steps.
+func (r *Runtime) inject(m rt.Message) {
+	pr := r.procs[m.To]
+	if !pr.local {
+		return // not hosted here; the bus should not have delivered it
+	}
+	if pr.crashed.Load() {
+		r.Count("msg.dropped", 1)
+		return
+	}
+	h, ok := pr.handlers[m.Port]
+	if !ok {
+		panic(fmt.Sprintf("live: no handler for port %q at process %d", m.Port, m.To))
+	}
+	r.Count("msg.delivered", 1)
+	r.enqueue(pr, func() { h(m) })
+}
+
+// After implements rt.Runtime: fn runs at process p after d ticks of wall
+// time, as one of p's steps. Timers at non-local or crashed processes are
+// dropped.
+func (r *Runtime) After(p rt.ProcID, d rt.Time, fn func()) {
+	pr := r.procs[p]
+	if !pr.local {
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	time.AfterFunc(time.Duration(d)*r.tick, func() {
+		if r.stopped.Load() || pr.crashed.Load() {
+			return
+		}
+		r.enqueue(pr, fn)
+	})
+}
+
+// Invoke runs fn at process p as one of its atomic steps — the bridge for
+// external callers (servers, tests) into the process's serialized world. It
+// reports whether the call was accepted (false: crashed or stopped).
+func (r *Runtime) Invoke(p rt.ProcID, fn func()) bool {
+	pr := r.procs[p]
+	if !pr.local || pr.crashed.Load() || r.stopped.Load() {
+		return false
+	}
+	r.enqueue(pr, fn)
+	return true
+}
+
+// Crash administratively crashes p: its loop exits, and pending or future
+// messages, timers and invocations addressed to it are dropped. Used by
+// fault-injection tests and by operators; it emits the same "crash" trace
+// record as the simulator's fault schedule.
+func (r *Runtime) Crash(p rt.ProcID) {
+	pr := r.procs[p]
+	if pr.crashed.Swap(true) {
+		return
+	}
+	r.Emit(rt.Record{P: p, Kind: "crash", Peer: -1})
+	wake(pr)
+	// Guards elsewhere may consult Crashed (schedule-fed oracles): give
+	// every process a chance to re-examine its guards.
+	for _, other := range r.procs {
+		if other.local && !other.crashed.Load() {
+			wake(other)
+		}
+	}
+}
+
+// Emit implements rt.Runtime. Records are stamped and forwarded to the
+// tracer under one lock, so tracers need no synchronization of their own.
+func (r *Runtime) Emit(rec rt.Record) {
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	rec.T = r.Now()
+	r.seq++
+	rec.Seq = r.seq
+	if r.tracer != nil {
+		r.tracer.Trace(rec)
+	}
+}
+
+// Count implements rt.TransportRuntime: add delta to a named counter.
+func (r *Runtime) Count(name string, delta int64) {
+	r.cntMu.Lock()
+	r.counters[name] += delta
+	r.cntMu.Unlock()
+}
+
+// Counter returns a named counter's current value.
+func (r *Runtime) Counter(name string) int64 {
+	r.cntMu.Lock()
+	defer r.cntMu.Unlock()
+	return r.counters[name]
+}
+
+// enqueue appends one job to pr's mailbox and nudges its loop. The mailbox
+// is unbounded: backpressure would let two processes sending to each other
+// deadlock, and protocol traffic here is self-limiting (request/grant
+// cycles, periodic heartbeats).
+func (r *Runtime) enqueue(pr *process, job func()) {
+	pr.mu.Lock()
+	pr.queue = append(pr.queue, job)
+	pr.mu.Unlock()
+	wake(pr)
+}
+
+func wake(pr *process) {
+	select {
+	case pr.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (pr *process) dequeue() func() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if len(pr.queue) == 0 {
+		return nil
+	}
+	job := pr.queue[0]
+	pr.queue[0] = nil
+	pr.queue = pr.queue[1:]
+	return job
+}
+
+// loop is the per-process scheduler: one mailbox job and at most one enabled
+// action per iteration, blocking when neither exists. Interleaving jobs with
+// action steps keeps a message flood from starving the action system, and
+// the rotation cursor in stepOnce gives weak fairness across actions.
+//
+// Action steps are paced: at most one per stepEvery of wall time. Jobs are
+// never paced. A process whose guards stay permanently enabled therefore
+// settles at the step rate instead of spinning its CPU — which matters
+// doubly on small machines, where a spinning process starves its peers'
+// timer deliveries and manufactures false suspicions.
+func (r *Runtime) loop(pr *process) {
+	pacer := time.NewTimer(time.Hour)
+	if !pacer.Stop() {
+		<-pacer.C
+	}
+	defer pacer.Stop()
+	for {
+		if r.stopped.Load() || pr.crashed.Load() {
+			return
+		}
+		ran := false
+		if job := pr.dequeue(); job != nil {
+			job()
+			ran = true
+		}
+		pace := time.Duration(-1)
+		if !pr.crashed.Load() {
+			if now := time.Now(); now.Before(pr.nextStep) {
+				if pr.anyEnabled() {
+					pace = pr.nextStep.Sub(now)
+				}
+			} else if r.stepOnce(pr) {
+				ran = true
+				pr.nextStep = now.Add(r.stepEvery)
+			}
+		}
+		if ran {
+			continue
+		}
+		if pace < 0 {
+			// Nothing to do until a job or the stop signal arrives.
+			select {
+			case <-pr.notify:
+			case <-r.stop:
+				return
+			}
+			continue
+		}
+		// An action is enabled but paced out: sleep until the step clock
+		// allows it, or until a job arrives in the meantime.
+		pacer.Reset(pace)
+		select {
+		case <-pr.notify:
+			if !pacer.Stop() {
+				select {
+				case <-pacer.C:
+				default:
+				}
+			}
+		case <-pacer.C:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// anyEnabled reports whether some guard of pr currently holds. Guards are
+// pure, so speculative evaluation is safe; only pr's own goroutine calls
+// this.
+func (pr *process) anyEnabled() bool {
+	for _, a := range pr.actions {
+		if a.guard() {
+			return true
+		}
+	}
+	return false
+}
+
+// stepOnce executes at most one enabled action of pr, chosen by rotating
+// through the action list — the same weak-fairness rule as the simulator.
+func (r *Runtime) stepOnce(pr *process) bool {
+	n := len(pr.actions)
+	for i := 0; i < n; i++ {
+		idx := (pr.rot + i) % n
+		a := pr.actions[idx]
+		if a.guard() {
+			pr.rot = idx + 1
+			r.Count("steps", 1)
+			a.body()
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/rt"
+)
+
+// Wire format: every frame is a 4-byte big-endian body length followed by
+// the body. A protocol-message body is the gob encoding of envelope; the
+// payload travels as a nested gob so that a nil payload (heartbeats) needs
+// no special casing and the outer envelope stays schema-stable. The same
+// framing carries the dineserve client protocol (JSON bodies) — framing and
+// body codec are deliberately independent layers.
+
+// MaxFrame bounds a frame body. Oversized frames are rejected on both ends:
+// a corrupt or adversarial length prefix must not provoke a huge allocation.
+const MaxFrame = 1 << 20
+
+// ErrFrameTooBig is returned for a frame whose declared length exceeds
+// MaxFrame (or is zero on decode of an envelope frame).
+var ErrFrameTooBig = errors.New("live: frame exceeds MaxFrame")
+
+// envelope is the wire form of one rt.Message.
+type envelope struct {
+	From, To int32
+	Port     string
+	Payload  []byte // nested gob of the payload, empty for nil
+}
+
+// RegisterPayload makes a payload type transmissible over the wire codec
+// (a thin wrapper over gob.Register, so callers need not import gob).
+// Protocol packages with unexported payload types register them themselves —
+// see forks.RegisterWire.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting oversized lengths
+// before allocating. A truncated stream surfaces as io.ErrUnexpectedEOF
+// (or io.EOF at a clean frame boundary).
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// EncodeMessage encodes one protocol message into a frame body. Non-nil
+// payload types must have been registered (RegisterPayload).
+func EncodeMessage(m rt.Message) ([]byte, error) {
+	env := envelope{From: int32(m.From), To: int32(m.To), Port: m.Port}
+	if m.Payload != nil {
+		var pb bytes.Buffer
+		payload := m.Payload
+		if err := gob.NewEncoder(&pb).Encode(&payload); err != nil {
+			return nil, fmt.Errorf("live: encode payload for port %q: %w", m.Port, err)
+		}
+		env.Payload = pb.Bytes()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("live: encode envelope: %w", err)
+	}
+	if buf.Len() > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMessage decodes a frame body produced by EncodeMessage. It never
+// panics on malformed input: errors come back as errors.
+func DecodeMessage(body []byte) (rt.Message, error) {
+	if len(body) > MaxFrame {
+		return rt.Message{}, ErrFrameTooBig
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return rt.Message{}, fmt.Errorf("live: decode envelope: %w", err)
+	}
+	m := rt.Message{From: rt.ProcID(env.From), To: rt.ProcID(env.To), Port: env.Port}
+	if len(env.Payload) > 0 {
+		var payload any
+		if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&payload); err != nil {
+			return rt.Message{}, fmt.Errorf("live: decode payload for port %q: %w", env.Port, err)
+		}
+		m.Payload = payload
+	}
+	return m, nil
+}

@@ -1,0 +1,59 @@
+// Package lockproto defines the client-facing wire protocol of the
+// dineserve lock/session service: newline-delimited JSON objects over TCP,
+// chosen so that a plain `nc` session is a usable client. Requests travel
+// client→server, events server→client. The protocol is asynchronous on the
+// server side — suspect-stream events may interleave with command replies on
+// a watching connection — but replies to one connection's acquire/release
+// requests arrive in request order.
+package lockproto
+
+// Request operations.
+const (
+	// OpAcquire asks for an eating session on a diner. The server replies
+	// with EvGranted when the dining layer grants the critical section (or
+	// EvError). ID names the session for the later release.
+	OpAcquire = "acquire"
+	// OpRelease ends a previously granted session (by Diner and ID).
+	OpRelease = "release"
+	// OpWatch subscribes this connection to the extracted ◇P suspect
+	// stream: one EvSuspect per output change, preceded by a snapshot of
+	// the current suspicion matrix.
+	OpWatch = "watch"
+	// OpInfo asks for service parameters (diner count).
+	OpInfo = "info"
+)
+
+// Event kinds.
+const (
+	EvGranted  = "granted"  // session entered the critical section
+	EvReleased = "released" // session exited and the diner is free again
+	EvSuspect  = "suspect"  // ◇P output change (or snapshot entry): Of's module about Peer
+	EvInfo     = "info"     // reply to OpInfo
+	EvError    = "error"    // request failed; Msg explains
+)
+
+// Request is one client command.
+type Request struct {
+	Op    string `json:"op"`
+	Diner int    `json:"diner,omitempty"`
+	ID    string `json:"id,omitempty"`
+}
+
+// Event is one server message.
+type Event struct {
+	Ev    string `json:"ev"`
+	Diner int    `json:"diner,omitempty"`
+	ID    string `json:"id,omitempty"`
+
+	// Suspect-stream fields: Of's ◇P module output about Peer changed to
+	// Suspect at server time T.
+	Of      int  `json:"of,omitempty"`
+	Peer    int  `json:"peer,omitempty"`
+	Suspect bool `json:"suspect,omitempty"`
+
+	// Info fields.
+	Diners int `json:"diners,omitempty"`
+
+	T   int64  `json:"t,omitempty"` // server clock, in ticks
+	Msg string `json:"msg,omitempty"`
+}

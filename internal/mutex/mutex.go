@@ -44,21 +44,21 @@ import (
 	"repro/internal/detector"
 	"repro/internal/dining"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Table is an FTME instance: a dining table over a clique.
 type Table struct {
 	name string
 	g    *graph.Graph
-	mods map[sim.ProcID]*module
+	mods map[rt.ProcID]*module
 }
 
 // New builds an FTME instance over the participants in g (which must be a
 // clique for mutual exclusion proper; any graph is accepted and treated as
 // "ask all neighbors"). oracle is consulted as a trusting detector.
-func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle) *Table {
-	t := &Table{name: name, g: g, mods: make(map[sim.ProcID]*module)}
+func New(k rt.Runtime, g *graph.Graph, name string, oracle detector.Oracle) *Table {
+	t := &Table{name: name, g: g, mods: make(map[rt.ProcID]*module)}
 	for _, p := range g.Nodes() {
 		t.mods[p] = newModule(k, g, name, p, oracle)
 	}
@@ -69,7 +69,7 @@ func New(k *sim.Kernel, g *graph.Graph, name string, oracle detector.Oracle) *Ta
 // The resulting factory is the wait-free ℙWX black box of the Section 9
 // experiment.
 func Factory(oracle detector.Oracle) dining.Factory {
-	return func(k *sim.Kernel, g *graph.Graph, name string) dining.Table {
+	return func(k rt.Runtime, g *graph.Graph, name string) dining.Table {
 		return New(k, g, name, oracle)
 	}
 }
@@ -81,7 +81,7 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Graph() *graph.Graph { return t.g }
 
 // Diner implements dining.Table.
-func (t *Table) Diner(p sim.ProcID) dining.Diner {
+func (t *Table) Diner(p rt.ProcID) dining.Diner {
 	m, ok := t.mods[p]
 	if !ok {
 		panic(fmt.Sprintf("mutex: %d is not a participant of %s", p, t.name))
@@ -105,19 +105,19 @@ type peerState struct {
 
 type module struct {
 	*dining.Core
-	k      *sim.Kernel
-	self   sim.ProcID
-	nbrs   []sim.ProcID
+	k      rt.Runtime
+	self   rt.ProcID
+	nbrs   []rt.ProcID
 	view   detector.View
 	prefix string
 
 	clock  int64 // Lamport clock
 	reqTS  int64 // timestamp of my current request
 	reqSeq int64 // sequence number of my current request
-	peers  map[sim.ProcID]*peerState
+	peers  map[rt.ProcID]*peerState
 }
 
-func newModule(k *sim.Kernel, g *graph.Graph, name string, p sim.ProcID, oracle detector.Oracle) *module {
+func newModule(k rt.Runtime, g *graph.Graph, name string, p rt.ProcID, oracle detector.Oracle) *module {
 	m := &module{
 		Core:   dining.NewCore(k, p, name),
 		k:      k,
@@ -125,7 +125,7 @@ func newModule(k *sim.Kernel, g *graph.Graph, name string, p sim.ProcID, oracle 
 		nbrs:   g.Neighbors(p),
 		view:   detector.View{Oracle: oracle, Self: p},
 		prefix: name,
-		peers:  make(map[sim.ProcID]*peerState),
+		peers:  make(map[rt.ProcID]*peerState),
 	}
 	for _, q := range m.nbrs {
 		m.peers[q] = &peerState{}
@@ -160,14 +160,14 @@ func (m *module) Exit() {
 }
 
 // precedes reports whether the request (ts, p) has priority over (ts2, q).
-func precedes(ts int64, p sim.ProcID, ts2 int64, q sim.ProcID) bool {
+func precedes(ts int64, p rt.ProcID, ts2 int64, q rt.ProcID) bool {
 	if ts != ts2 {
 		return ts < ts2
 	}
 	return p < q
 }
 
-func (m *module) onReq(msg sim.Message) {
+func (m *module) onReq(msg rt.Message) {
 	req := msg.Payload.(reqMsg)
 	if req.TS > m.clock {
 		m.clock = req.TS
@@ -186,7 +186,7 @@ func (m *module) onReq(msg sim.Message) {
 	}
 }
 
-func (m *module) onGrant(msg sim.Message) {
+func (m *module) onGrant(msg rt.Message) {
 	g := msg.Payload.(grantMsg)
 	if m.State() != dining.Hungry || g.Seq != m.reqSeq {
 		return // stale grant for an old request

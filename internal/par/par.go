@@ -30,6 +30,10 @@ func Workers(n int) int {
 // as each prefix of results is complete. consume runs on the calling
 // goroutine, so it needs no synchronization of its own. With one worker (or
 // one job) everything runs inline on the caller, sequentially.
+//
+// A panic in job is re-raised on the calling goroutine, at the panicking
+// job's position in consumption order — the same observable behavior as the
+// sequential path, so callers need one recovery strategy, not two.
 func MapOrdered[T any](workers, n int, job func(int) T, consume func(int, T)) {
 	workers = Workers(workers)
 	if workers > n {
@@ -42,10 +46,21 @@ func MapOrdered[T any](workers, n int, job func(int) T, consume func(int, T)) {
 		return
 	}
 
+	call := func(i int) (r T, panicked any) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = p
+			}
+		}()
+		r = job(i)
+		return
+	}
+
 	var (
 		mu      sync.Mutex
 		cond    = sync.NewCond(&mu)
 		results = make([]T, n)
+		panics  = make([]any, n)
 		done    = make([]bool, n)
 		next    atomic.Int64 // next job index to claim
 		wg      sync.WaitGroup
@@ -59,9 +74,10 @@ func MapOrdered[T any](workers, n int, job func(int) T, consume func(int, T)) {
 				if i >= n {
 					return
 				}
-				r := job(i)
+				r, pv := call(i)
 				mu.Lock()
 				results[i] = r
+				panics[i] = pv
 				done[i] = true
 				cond.Broadcast()
 				mu.Unlock()
@@ -73,10 +89,14 @@ func MapOrdered[T any](workers, n int, job func(int) T, consume func(int, T)) {
 		for !done[i] {
 			cond.Wait()
 		}
-		r := results[i]
+		r, pv := results[i], panics[i]
 		var zero T
 		results[i] = zero // release the result as soon as it is consumed
 		mu.Unlock()
+		if pv != nil {
+			next.Store(int64(n)) // stop workers from claiming further jobs
+			panic(pv)
+		}
 		consume(i, r)
 	}
 	wg.Wait()

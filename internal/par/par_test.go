@@ -78,3 +78,53 @@ func TestMapEmptyAndSingle(t *testing.T) {
 		t.Fatalf("Map over 1 job returned %v", out)
 	}
 }
+
+// TestMapOrderedWorkerNormalization: zero and negative worker counts mean
+// GOMAXPROCS, not zero goroutines — the sweep must still run every job and
+// consume in order.
+func TestMapOrderedWorkerNormalization(t *testing.T) {
+	for _, workers := range []int{0, -1, -8} {
+		var ran atomic.Int32
+		want := 0
+		MapOrdered(workers, 50, func(i int) int {
+			ran.Add(1)
+			return i
+		}, func(i, v int) {
+			if i != want || v != want {
+				t.Fatalf("workers=%d: consume(%d, %d), want index %d", workers, i, v, want)
+			}
+			want++
+		})
+		if ran.Load() != 50 || want != 50 {
+			t.Fatalf("workers=%d: ran %d jobs, consumed %d, want 50", workers, ran.Load(), want)
+		}
+	}
+}
+
+// TestMapOrderedPanicPropagates: a panic inside a worker goroutine must
+// surface on the calling goroutine with the original panic value, at the
+// panicking job's position in consumption order — matching the sequential
+// path, where the panic interrupts the consume loop directly.
+func TestMapOrderedPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			consumed := 0
+			defer func() {
+				pv := recover()
+				if pv != "job 3 exploded" {
+					t.Fatalf("workers=%d: recovered %v, want the job's panic value", workers, pv)
+				}
+				if consumed != 3 {
+					t.Fatalf("workers=%d: consumed %d results before the panic, want 3", workers, consumed)
+				}
+			}()
+			MapOrdered(workers, 16, func(i int) int {
+				if i == 3 {
+					panic("job 3 exploded")
+				}
+				return i
+			}, func(i, v int) { consumed++ })
+			t.Fatalf("workers=%d: MapOrdered returned instead of panicking", workers)
+		}()
+	}
+}

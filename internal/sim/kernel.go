@@ -126,12 +126,6 @@ func (k *Kernel) Handle(p ProcID, port string, h Handler) {
 	pr.handlers[port] = h
 }
 
-// SendHook intercepts protocol-level sends (see SetSendHook). Returning true
-// means the hook consumed the message and will arrange its delivery itself
-// (typically by re-sending wrapped envelopes through RawSend); returning
-// false lets the kernel transmit it directly.
-type SendHook func(Message) bool
-
 // SetSendHook installs (or, with nil, removes) a send interceptor. It exists
 // for internal/transport: with a hook installed, every Send from protocol
 // code can be transparently wrapped in a reliable-delivery envelope without

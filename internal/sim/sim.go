@@ -21,20 +21,25 @@
 // Body (the atomic state transition, which may send messages). The kernel
 // guarantees weak fairness: an action whose guard is continuously enabled at
 // a live process is eventually executed.
+//
+// The model vocabulary (Time, ProcID, Message, Record, …) lives in
+// internal/rt and is aliased here; the Kernel is one implementation of
+// rt.Runtime, the interface protocol modules are written against. The other
+// is internal/live, which executes the same protocol code in real time.
 package sim
 
-import "fmt"
+import "repro/internal/rt"
 
 // Time is discrete virtual time in ticks. The global clock is a modeling
 // device only; protocol code must not branch on absolute times except via
 // explicit timers (e.g. heartbeat intervals).
-type Time int64
+type Time = rt.Time
 
 // ProcID identifies a process. Processes are numbered 0..N-1.
-type ProcID int
+type ProcID = rt.ProcID
 
 // Never is a sentinel Time meaning "does not happen".
-const Never Time = -1
+const Never = rt.Never
 
 // KindLink is the Record kind emitted by the fair-lossy link adversary when
 // it perturbs a message (Note is "drop" or "dup", Peer the sender, Inst the
@@ -42,40 +47,21 @@ const Never Time = -1
 const KindLink = "link"
 
 // Message is a single protocol message in transit between two processes.
-// Port routes the message to the handler registered under the same name at
-// the destination; composed protocols namespace their ports (for example
-// "dx/3-1/0/fork").
-type Message struct {
-	From    ProcID
-	To      ProcID
-	Port    string
-	Payload any
-}
-
-func (m Message) String() string {
-	return fmt.Sprintf("%d->%d %s %v", m.From, m.To, m.Port, m.Payload)
-}
+type Message = rt.Message
 
 // Record is a structured trace record emitted by the kernel and by protocol
 // modules. Checkers reconstruct runs (eating intervals, suspicion history,
 // crash times) purely from the record stream.
-type Record struct {
-	T    Time   // virtual time of the event
-	Seq  int64  // global sequence number (total order tie-break)
-	P    ProcID // process the event happened at
-	Kind string // event kind, e.g. "state", "suspect", "trust", "crash"
-	Peer ProcID // peer process, when relevant (else -1)
-	Inst string // instance name (table, oracle, module), when relevant
-	Note string // free-form detail, e.g. the new dining state
-}
+type Record = rt.Record
 
 // Tracer receives every Record emitted during a run.
-type Tracer interface {
-	Trace(Record)
-}
+type Tracer = rt.Tracer
 
 // Handler processes one delivered message as part of an atomic step.
-type Handler func(Message)
+type Handler = rt.Handler
+
+// SendHook intercepts protocol-level sends (see Kernel.SetSendHook).
+type SendHook = rt.SendHook
 
 // Action is one guarded command of a process's action system.
 type Action struct {
@@ -83,3 +69,10 @@ type Action struct {
 	Guard func() bool
 	Body  func()
 }
+
+// The Kernel is the simulation-side implementation of the protocol-facing
+// runtime interfaces.
+var (
+	_ rt.Runtime          = (*Kernel)(nil)
+	_ rt.TransportRuntime = (*Kernel)(nil)
+)

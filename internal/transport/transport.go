@@ -1,18 +1,18 @@
 // Package transport restores the paper's reliable-channel axioms on top of
-// the kernel's fair-lossy links (sim.LinkPlan): exactly-once delivery of
+// the kernel's fair-lossy links (rt.LinkPlan): exactly-once delivery of
 // every protocol message to every correct destination, with no protocol
 // module changing a line.
 //
 // Mechanism — the classic simulation of reliable channels over fair-lossy
 // links (cf. Aspnes's lecture notes; the retransmit-until-ack "stubborn
-// link" plus sequence-number deduplication): Enable installs a sim.SendHook,
+// link" plus sequence-number deduplication): Enable installs a rt.SendHook,
 // so every protocol-level Send is intercepted and wrapped into a sequenced
 // envelope on the transport's own wire port. Per ordered process pair the
 // sender keeps the unacknowledged window and retransmits it with exponential
 // backoff (capped), the receiver suppresses duplicates with a cumulative
 // watermark plus a sparse out-of-order set, acks cumulatively, and hands
 // each fresh payload to the handler the protocol registered for its original
-// port (sim.Kernel.Dispatch). Because fair-lossy links deliver a message
+// port (rt.Kernel.Dispatch). Because fair-lossy links deliver a message
 // sent infinitely often infinitely often, and retransmission stops only on
 // acknowledgement, every wrapped message reaches a correct destination
 // exactly once — the channel contract internal/detector, internal/core and
@@ -27,8 +27,9 @@ package transport
 
 import (
 	"sort"
+	"sync"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Config tunes retransmission. The zero value gives usable defaults.
@@ -36,13 +37,13 @@ type Config struct {
 	// RTO is the initial retransmission timeout for a fresh window (default
 	// 40 ticks — a little above one round trip under the default delay
 	// policies, so acks usually win the race).
-	RTO sim.Time
+	RTO rt.Time
 	// RTOMax caps the exponential backoff (default 640). The cap keeps a
 	// retransmitting sender probing a silent peer at a bounded, non-zero
 	// rate: messages to a crashed process are retransmitted forever (the
 	// channel axiom only promises delivery to correct processes — nothing
 	// here may guess at crashes), but never faster than once per RTOMax.
-	RTOMax sim.Time
+	RTOMax rt.Time
 	// Window bounds how many unacked messages one retransmission burst
 	// re-sends, oldest first (default 64). It bounds the burst a long-dead
 	// destination can provoke; liveness is unaffected because acks always
@@ -79,14 +80,14 @@ type ackMsg struct {
 // flight is one unacknowledged envelope with its last transmission time.
 type flight struct {
 	env dataMsg
-	at  sim.Time
+	at  rt.Time
 }
 
 // sender is the outbound state for one ordered pair (from -> to).
 type sender struct {
 	next    int64              // last assigned sequence number
 	unacked map[int64]*flight  // in flight, keyed by sequence number
-	rto     sim.Time           // current backoff
+	rto     rt.Time           // current backoff
 	armed   bool               // retransmission timer pending
 }
 
@@ -96,13 +97,20 @@ type receiver struct {
 	above map[int64]bool // delivered seqs beyond the watermark
 }
 
-// Reliable is the transport instance attached to one kernel.
+// Reliable is the transport instance attached to one runtime.
+//
+// Concurrency: on the live runtime, sends, retransmission timers and acks
+// for a pair (p → q) all execute as steps of p, and data receipt as steps of
+// q, so each sender/receiver struct is touched by exactly one process's
+// goroutine — the per-pair state needs no locking on either runtime. Only
+// the two top-level maps are shared across processes; mu guards them.
 type Reliable struct {
-	k    *sim.Kernel
+	k    rt.TransportRuntime
 	name string
 	cfg  Config
-	out  map[[2]sim.ProcID]*sender
-	in   map[[2]sim.ProcID]*receiver
+	mu   sync.Mutex
+	out  map[[2]rt.ProcID]*sender
+	in   map[[2]rt.ProcID]*receiver
 }
 
 // Enable attaches a reliable transport named name to k: it registers the
@@ -113,20 +121,20 @@ type Reliable struct {
 // messages accepted), "transport.retransmit" (wire re-sends),
 // "transport.delivered" (exactly-once handoffs), "transport.dup" (duplicate
 // envelopes suppressed), "transport.acks" (acks sent).
-func Enable(k *sim.Kernel, name string, cfg Config) *Reliable {
+func Enable(k rt.TransportRuntime, name string, cfg Config) *Reliable {
 	cfg.defaults()
 	t := &Reliable{
 		k: k, name: name, cfg: cfg,
-		out: make(map[[2]sim.ProcID]*sender),
-		in:  make(map[[2]sim.ProcID]*receiver),
+		out: make(map[[2]rt.ProcID]*sender),
+		in:  make(map[[2]rt.ProcID]*receiver),
 	}
 	data, ack := name+"/data", name+"/ack"
 	for i := 0; i < k.N(); i++ {
-		p := sim.ProcID(i)
-		k.Handle(p, data, func(m sim.Message) { t.onData(p, m) })
-		k.Handle(p, ack, func(m sim.Message) { t.onAck(p, m) })
+		p := rt.ProcID(i)
+		k.Handle(p, data, func(m rt.Message) { t.onData(p, m) })
+		k.Handle(p, ack, func(m rt.Message) { t.onAck(p, m) })
 	}
-	k.SetSendHook(func(m sim.Message) bool {
+	k.SetSendHook(func(m rt.Message) bool {
 		t.send(m)
 		return true
 	})
@@ -138,13 +146,9 @@ func (t *Reliable) Name() string { return t.name }
 
 // send accepts one protocol message, assigns it a sequence number, ships the
 // first copy, and arms retransmission.
-func (t *Reliable) send(m sim.Message) {
-	key := [2]sim.ProcID{m.From, m.To}
-	s := t.out[key]
-	if s == nil {
-		s = &sender{unacked: make(map[int64]*flight), rto: t.cfg.RTO}
-		t.out[key] = s
-	}
+func (t *Reliable) send(m rt.Message) {
+	key := [2]rt.ProcID{m.From, m.To}
+	s := t.sender(key)
 	s.next++
 	env := dataMsg{Seq: s.next, Port: m.Port, Payload: m.Payload}
 	s.unacked[env.Seq] = &flight{env: env, at: t.k.Now()}
@@ -155,7 +159,7 @@ func (t *Reliable) send(m sim.Message) {
 
 // arm schedules the retransmission check for this pair if none is pending.
 // The timer lives at the sending process, so it dies with it.
-func (t *Reliable) arm(key [2]sim.ProcID, s *sender) {
+func (t *Reliable) arm(key [2]rt.ProcID, s *sender) {
 	if s.armed {
 		return
 	}
@@ -167,7 +171,7 @@ func (t *Reliable) arm(key [2]sim.ProcID, s *sender) {
 // envelopes that have gone a full RTO without an ack, back off exponentially
 // up to the cap, and re-arm while anything is outstanding. An empty window
 // disarms and resets the backoff — the quiescence point.
-func (t *Reliable) fire(key [2]sim.ProcID, s *sender) {
+func (t *Reliable) fire(key [2]rt.ProcID, s *sender) {
 	s.armed = false
 	if len(s.unacked) == 0 {
 		s.rto = t.cfg.RTO
@@ -205,14 +209,10 @@ func (t *Reliable) fire(key [2]sim.ProcID, s *sender) {
 // onData handles one wire envelope at the destination: ack it, suppress it
 // if already seen, otherwise advance the watermark and hand the payload to
 // the protocol handler registered for its original port.
-func (t *Reliable) onData(p sim.ProcID, m sim.Message) {
+func (t *Reliable) onData(p rt.ProcID, m rt.Message) {
 	env := m.Payload.(dataMsg)
-	key := [2]sim.ProcID{m.From, p}
-	r := t.in[key]
-	if r == nil {
-		r = &receiver{above: make(map[int64]bool)}
-		t.in[key] = r
-	}
+	key := [2]rt.ProcID{m.From, p}
+	r := t.receiver(key)
 	fresh := env.Seq > r.cum && !r.above[env.Seq]
 	if fresh {
 		r.above[env.Seq] = true
@@ -228,15 +228,17 @@ func (t *Reliable) onData(p sim.ProcID, m sim.Message) {
 	t.k.RawSend(p, m.From, t.name+"/ack", ackMsg{Cum: r.cum, Seq: env.Seq})
 	if fresh {
 		t.k.Count("transport.delivered", 1)
-		t.k.Dispatch(sim.Message{From: m.From, To: p, Port: env.Port, Payload: env.Payload})
+		t.k.Dispatch(rt.Message{From: m.From, To: p, Port: env.Port, Payload: env.Payload})
 	}
 }
 
 // onAck clears acknowledged envelopes from the sender window. Progress
 // resets the backoff; a drained window goes quiescent at the next fire.
-func (t *Reliable) onAck(p sim.ProcID, m sim.Message) {
+func (t *Reliable) onAck(p rt.ProcID, m rt.Message) {
 	a := m.Payload.(ackMsg)
-	s := t.out[[2]sim.ProcID{p, m.From}]
+	t.mu.Lock()
+	s := t.out[[2]rt.ProcID{p, m.From}]
+	t.mu.Unlock()
 	if s == nil {
 		return
 	}
@@ -253,9 +255,36 @@ func (t *Reliable) onAck(p sim.ProcID, m sim.Message) {
 
 // Outstanding reports the number of unacknowledged envelopes from p to q —
 // 0 for a quiescent pair (tests and metrics).
-func (t *Reliable) Outstanding(p, q sim.ProcID) int {
-	if s := t.out[[2]sim.ProcID{p, q}]; s != nil {
+func (t *Reliable) Outstanding(p, q rt.ProcID) int {
+	t.mu.Lock()
+	s := t.out[[2]rt.ProcID{p, q}]
+	t.mu.Unlock()
+	if s != nil {
 		return len(s.unacked)
 	}
 	return 0
+}
+
+// sender returns (creating if needed) the outbound state for key.
+func (t *Reliable) sender(key [2]rt.ProcID) *sender {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.out[key]
+	if s == nil {
+		s = &sender{unacked: make(map[int64]*flight), rto: t.cfg.RTO}
+		t.out[key] = s
+	}
+	return s
+}
+
+// receiver returns (creating if needed) the inbound state for key.
+func (t *Reliable) receiver(key [2]rt.ProcID) *receiver {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.in[key]
+	if r == nil {
+		r = &receiver{above: make(map[int64]bool)}
+		t.in[key] = r
+	}
+	return r
 }

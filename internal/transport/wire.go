@@ -1,0 +1,13 @@
+package transport
+
+import "encoding/gob"
+
+// RegisterWire registers the transport's envelope types for gob transit
+// over a networked bus (internal/live's TCP bus), so a transport-wrapped
+// system can span nodes. Call it once per process image before connecting;
+// payload types carried inside dataMsg must be registered by their own
+// packages (e.g. forks.RegisterWire).
+func RegisterWire() {
+	gob.Register(dataMsg{})
+	gob.Register(ackMsg{})
+}

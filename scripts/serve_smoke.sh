@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — boot dineserve on an ephemeral loopback port, hammer it
+# with a short dineload burst, then SIGINT the server and assert that (a) the
+# load run saw no errors, and (b) the server's ◇WX exclusion checker came
+# back clean over the whole run. Used by `make serve-smoke` and CI.
+set -u
+
+CLIENTS="${CLIENTS:-64}"
+DURATION="${DURATION:-5s}"
+BIN="${BIN:-bin}"
+LOG="$(mktemp -d)"
+trap 'rm -rf "$LOG"' EXIT
+
+"$BIN/dineserve" -addr 127.0.0.1:0 >"$LOG/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+# Wait for the listen line and pull the actual address out of it.
+ADDR=""
+for _ in $(seq 100); do
+    ADDR=$(grep -o '127\.0\.0\.1:[0-9]*' "$LOG/serve.log" 2>/dev/null | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve-smoke: dineserve never started listening" >&2
+    cat "$LOG/serve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: dineserve up on $ADDR, running $CLIENTS clients for $DURATION"
+
+"$BIN/dineload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION"
+LOAD_EXIT=$?
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_EXIT=$?
+cat "$LOG/serve.log"
+
+if [ "$LOAD_EXIT" -ne 0 ]; then
+    echo "serve-smoke: FAIL — dineload exited $LOAD_EXIT" >&2
+    exit 1
+fi
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    echo "serve-smoke: FAIL — dineserve exited $SERVE_EXIT (exclusion check or drain failed)" >&2
+    exit 1
+fi
+if ! grep -q "exclusion check OK" "$LOG/serve.log"; then
+    echo "serve-smoke: FAIL — no exclusion verdict in the server log" >&2
+    exit 1
+fi
+echo "serve-smoke: OK"
