@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench chaos serve-smoke
+.PHONY: check vet build test race fuzz bench chaos chaos-live serve-smoke
 
 check: vet build race fuzz
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzPairMonitorSchedules -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzForksSchedules -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzLinkPlanValidate -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run=^$$ -fuzz=FuzzLockprotoDedup -fuzztime=$(FUZZTIME) ./internal/lockproto
 
 # Performance trajectory: run the substrate micro-benchmarks and the E*
 # experiment benches, and convert each set to a JSON artifact via
@@ -48,6 +49,17 @@ bench:
 # any property violation.
 chaos:
 	$(GO) run ./cmd/chaos
+
+# The live chaos campaign: seeded fault schedules (drops, one partition
+# window, one crash/restart) against real tables — once in-process over the
+# fault-injecting bus, once as dineserve behind the chaos TCP proxy under a
+# self-healing dineload — with clean checker verdicts required of both.
+chaos-live:
+	$(GO) build -o bin/chaos ./cmd/chaos
+	$(GO) build -o bin/chaosproxy ./cmd/chaosproxy
+	$(GO) build -o bin/dineserve ./cmd/dineserve
+	$(GO) build -o bin/dineload ./cmd/dineload
+	bash scripts/chaos_live.sh
 
 # End-to-end smoke of the live service: boot dineserve on an ephemeral
 # loopback port, run a 64-client dineload burst, SIGINT the server, and

@@ -13,6 +13,9 @@
 //	chaos -linkplans loss10,loss30,flaky   # lossy-network sweep (transport on)
 //	chaos -loss 0.3 -dup 0.1 -reorder 16   # ad-hoc fair-lossy link shape
 //	chaos -parallel 1                      # force sequential execution
+//	chaos -live -seeds 7                   # live-runtime runs: real goroutines,
+//	                                       # wall-clock faults, crash/restart
+//	chaos -live -liveplan plan.json        # live runs under a shared link plan
 //
 // Campaign runs fan out over -parallel workers (default GOMAXPROCS). Runs
 // are independent and individually deterministic, and results are aggregated
@@ -29,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/sim"
@@ -58,6 +63,10 @@ func main() {
 		expected = flag.Bool("expect-caught", false, "fail if the buggy box is swept but never caught")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for campaign runs (1 = sequential); the report is identical either way")
 
+		liveMode = flag.Bool("live", false, "run the campaign against live tables (goroutines, wall clock, fault-injecting bus) instead of the simulator")
+		liveDur  = flag.Duration("live-duration", 6*time.Second, "wall-clock length of each live run")
+		livePlan = flag.String("liveplan", "", "JSON file with the link shape for -live runs (chaos.LinkSpec; same JSON drives the TCP proxy); empty = built-in drops+partition schedule")
+
 		loss      = flag.Float64("loss", 0, "per-message drop probability on every link, [0, 1)")
 		dup       = flag.Float64("dup", 0, "per-message duplication probability, [0, 1]")
 		reorder   = flag.Int64("reorder", 0, "extra per-message delay bound (message reordering)")
@@ -68,6 +77,10 @@ func main() {
 
 	if *replay != "" {
 		os.Exit(replayArtifact(*replay))
+	}
+
+	if *liveMode {
+		os.Exit(liveCampaign(split(*topos), int64List(*seeds), split(*sizes), *liveDur, *livePlan))
 	}
 
 	c := chaos.Campaign{
@@ -166,6 +179,93 @@ func main() {
 		exit = 130 // conventional 128+SIGINT: partial evidence is not a pass
 	}
 	os.Exit(exit)
+}
+
+// liveCampaign runs the live-runtime leg: one run per (topology, size, seed)
+// with a seeded fault schedule — steady drops, one partition window, one
+// crash/restart — against a real table over the fault-injecting bus, judged
+// by the shared checkers. SIGINT follows the same convention as simulator
+// campaigns: the partial report is flushed and the exit status is 130.
+func liveCampaign(topos []string, seeds []int64, sizes []string, dur time.Duration, planFile string) int {
+	var links *chaos.LinkSpec
+	if planFile != "" {
+		raw, err := os.ReadFile(planFile)
+		if err != nil {
+			errorf(err)
+			return 2
+		}
+		links = &chaos.LinkSpec{}
+		if err := json.Unmarshal(raw, links); err != nil {
+			errorf(fmt.Errorf("chaos: bad -liveplan %s: %w", planFile, err))
+			return 2
+		}
+	}
+
+	var c chaos.LiveCampaign
+	for _, topo := range topos {
+		for _, size := range sizes {
+			n, err := strconv.Atoi(size)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: bad size %q\n", size)
+				return 2
+			}
+			for _, seed := range seeds {
+				spec := chaos.LiveSpec{
+					Topology: topo, N: n, Seed: seed, Duration: dur,
+					Links: links,
+					Crashes: []chaos.LiveCrash{
+						{P: sim.ProcID(n / 2), At: dur / 4, RestartAfter: dur / 12},
+					},
+				}
+				if links == nil {
+					// The built-in schedule: background drops plus one
+					// partition window cutting off the lower half of the
+					// table early in the run (ticks of the default 500µs).
+					side := make([]sim.ProcID, n/2)
+					for i := range side {
+						side[i] = sim.ProcID(i)
+					}
+					spec.Links = &chaos.LinkSpec{
+						Drop: 0.10,
+						Windows: []chaos.WindowSpec{
+							{Start: 1000, End: 2000, Drop: 1, Side: side},
+						},
+					}
+				}
+				c.Specs = append(c.Specs, spec)
+			}
+		}
+	}
+
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "chaos: interrupted, flushing the partial live report")
+		signal.Stop(sig)
+		close(interrupt)
+	}()
+	c.Interrupt = interrupt
+	c.Progress = func(r *chaos.LiveResult) {
+		status := "ok"
+		if r.Failed() {
+			status = "FAIL " + r.First()
+		}
+		fmt.Printf("%-60s %s\n", r.Spec.ID(), status)
+	}
+
+	rep := c.Run()
+	fmt.Print(rep.Render())
+	if !rep.Clean() {
+		fmt.Fprintln(os.Stderr, "chaos: a live run violated a property")
+		return 1
+	}
+	if rep.Interrupted() {
+		fmt.Fprintln(os.Stderr, "chaos: live campaign interrupted: partial evidence is not a pass")
+		return 130
+	}
+	return 0
 }
 
 // errorf prefixes "chaos:" only when the error is not already package-tagged.

@@ -45,9 +45,13 @@ func main() {
 	watchDone := make(chan struct{})
 	if *watch {
 		go watchSuspects(*addr, &suspectEvents, watchDone)
-	} else {
-		close(watchDone)
 	}
+
+	// Session ids must be unique per load-generator *process*, not just per
+	// client goroutine: the server's session registry is keyed (diner, id),
+	// and two concurrent dineloads reusing "c0-0" would collide on each
+	// other's sessions and tombstones.
+	prefix := fmt.Sprintf("%06x", rand.New(rand.NewSource(time.Now().UnixNano()+int64(os.Getpid())<<20)).Intn(1<<24))
 
 	deadline := time.Now().Add(*duration)
 	results := make([]clientResult, *clients)
@@ -56,22 +60,25 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runClient(i, *addr, diners, deadline, *hold, *opTO)
+			results[i] = runClient(prefix, i, *addr, diners, deadline, *hold, *opTO)
 		}(i)
 	}
 	wg.Wait()
 	close(watchDone)
 
 	var lats []time.Duration
-	sessions, errs := 0, 0
+	sessions, errs, reconns, abandoned := 0, 0, 0, 0
 	for _, res := range results {
 		sessions += res.sessions
 		errs += res.errors
+		reconns += res.reconnects
+		abandoned += res.abandoned
 		lats = append(lats, res.latencies...)
 	}
 	elapsed := *duration
 	fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
-	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d\n", sessions, float64(sessions)/elapsed.Seconds(), errs)
+	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d, reconnects: %d, abandoned: %d\n",
+		sessions, float64(sessions)/elapsed.Seconds(), errs, reconns, abandoned)
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		fmt.Printf("dineload: acquire latency p50=%v p95=%v p99=%v max=%v\n",
@@ -142,68 +149,144 @@ func watchSuspects(addr string, n *atomic.Int64, done <-chan struct{}) {
 }
 
 type clientResult struct {
-	sessions  int
-	errors    int
-	latencies []time.Duration
+	sessions   int
+	errors     int
+	reconnects int
+	abandoned  int // sessions lost to lease expiry while disconnected
+	latencies  []time.Duration
 }
 
-// runClient loops acquire/hold/release on one connection until the deadline.
-// Replies to this connection's requests arrive in order, so a simple
-// decode-next loop per operation suffices.
-func runClient(id int, addr string, diners int, deadline time.Time, hold, opTO time.Duration) clientResult {
-	var res clientResult
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		res.errors++
-		return res
-	}
-	defer c.Close()
-	enc, dec := json.NewEncoder(c), json.NewDecoder(c)
-	rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+// exchange outcomes.
+type xResult int
 
-	await := func(want, id string) bool {
-		c.SetReadDeadline(time.Now().Add(opTO))
-		for {
-			var ev lockproto.Event
-			if err := dec.Decode(&ev); err != nil {
-				res.errors++
-				return false
+const (
+	xOK      xResult = iota
+	xAbandon         // give this session up, move on to the next id
+	xStop            // the run is over (deadline, drain, or unreachable)
+)
+
+// client is a self-healing dineload connection: every dial or read failure
+// triggers a reconnect with capped exponential backoff, after which the
+// in-flight request is replayed under the same session id — the server's
+// idempotent session registry (internal/lockproto.Sessions) makes the replay
+// safe, so a connection reset mid-run costs a retry, never a wrong result.
+type client struct {
+	addr     string
+	deadline time.Time
+	opTO     time.Duration
+
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	res  clientResult
+}
+
+// reconnect (re)establishes the connection, backing off 50ms→2s between
+// attempts until the run deadline. Returns false when the deadline passes
+// first.
+func (cl *client) reconnect() bool {
+	first := cl.conn == nil
+	if cl.conn != nil {
+		cl.conn.Close()
+		cl.conn = nil
+	}
+	backoff := 50 * time.Millisecond
+	for time.Now().Before(cl.deadline) {
+		c, err := net.DialTimeout("tcp", cl.addr, cl.opTO)
+		if err == nil {
+			cl.conn, cl.enc, cl.dec = c, json.NewEncoder(c), json.NewDecoder(c)
+			if !first {
+				cl.res.reconnects++
 			}
-			if ev.Ev == lockproto.EvError {
-				// A drain refusal while the run winds down is expected; any
-				// other error counts against the run.
-				if ev.Msg != "draining" {
-					res.errors++
-				}
-				return false
-			}
-			if ev.Ev == want && ev.ID == id {
-				return true
-			}
+			return true
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
 		}
 	}
+	return false
+}
+
+// exchange sends req and waits for wantEv with a matching id, reconnecting
+// and replaying on any transport error.
+func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
+	for {
+		if cl.conn == nil && !cl.reconnect() {
+			return xStop
+		}
+		if err := cl.enc.Encode(req); err != nil {
+			if !cl.reconnect() {
+				return xStop
+			}
+			continue // replay on the fresh connection
+		}
+		cl.conn.SetReadDeadline(time.Now().Add(cl.opTO))
+		for {
+			var ev lockproto.Event
+			if err := cl.dec.Decode(&ev); err != nil {
+				if !cl.reconnect() {
+					return xStop
+				}
+				break // replay
+			}
+			if ev.Ev == lockproto.EvError && ev.ID == req.ID {
+				switch ev.Msg {
+				case "draining":
+					// Expected while the run winds down.
+					return xStop
+				case "overloaded", "busy":
+					// Graceful shedding: back off and replay the same id.
+					time.Sleep(100 * time.Millisecond)
+				case "session expired", "unknown session":
+					// We were away past the lease; the server reclaimed the
+					// session. Not a protocol error — start a fresh id.
+					cl.res.abandoned++
+					return xAbandon
+				default:
+					cl.res.errors++
+					return xAbandon
+				}
+				break // resend
+			}
+			if ev.Ev == wantEv && ev.ID == req.ID {
+				return xOK
+			}
+			// Unrelated event (e.g. a replayed ack for an earlier id): skip.
+		}
+	}
+}
+
+// runClient loops acquire → hold → release until the deadline, surviving
+// connection resets: a single dial or read error no longer ends the client.
+func runClient(prefix string, id int, addr string, diners int, deadline time.Time, hold, opTO time.Duration) clientResult {
+	cl := &client{addr: addr, deadline: deadline, opTO: opTO}
+	defer func() {
+		if cl.conn != nil {
+			cl.conn.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
 
 	for seq := 0; time.Now().Before(deadline); seq++ {
 		diner := rng.Intn(diners)
-		sid := fmt.Sprintf("c%d-%d", id, seq)
+		sid := fmt.Sprintf("%s-c%d-%d", prefix, id, seq)
 		start := time.Now()
-		if err := enc.Encode(lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: sid}); err != nil {
-			res.errors++
-			return res
+		switch cl.exchange(lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: sid}, lockproto.EvGranted) {
+		case xStop:
+			return cl.res
+		case xAbandon:
+			continue
 		}
-		if !await(lockproto.EvGranted, sid) {
-			return res
-		}
-		res.latencies = append(res.latencies, time.Since(start))
+		cl.res.latencies = append(cl.res.latencies, time.Since(start))
 		time.Sleep(hold)
-		if err := enc.Encode(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}); err != nil {
-			res.errors++
-			return res
+		switch cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}, lockproto.EvReleased) {
+		case xStop:
+			return cl.res
+		case xAbandon:
+			continue
 		}
-		if !await(lockproto.EvReleased, sid) {
-			return res
-		}
-		res.sessions++
+		cl.res.sessions++
 	}
-	return res
+	return cl.res
 }

@@ -40,6 +40,12 @@ func main() {
 		hbTimeout = flag.Int("hb-timeout", 600, "initial heartbeat suspicion timeout, in ticks")
 		extract   = flag.Bool("extract", true, "run the ◇P extraction alongside the served table (feeds the watch stream)")
 		drain     = flag.Duration("drain", 10*time.Second, "how long SIGINT waits for in-flight sessions")
+		lease     = flag.Duration("lease", 30*time.Second, "how long a disconnected client's session survives before forced release (0: forever)")
+		maxInFl   = flag.Int64("max-inflight", 4096, "max concurrent sessions before new acquires are shed with \"overloaded\" (0: unlimited)")
+
+		chaosCrash   = flag.Int("chaos-crash", -1, "diner to crash and restart once (chaos injection; -1: none)")
+		chaosCrashAt = flag.Duration("chaos-crash-at", 2*time.Second, "when after startup the chaos crash fires")
+		chaosRestart = flag.Duration("chaos-restart-after", 500*time.Millisecond, "crash-to-restart gap (must exceed the bus's max delay)")
 	)
 	flag.Parse()
 	if *n < 2 {
@@ -70,6 +76,13 @@ func main() {
 		Timeout: rt.Time(*hbTimeout), Bump: rt.Time(*hbTimeout) / 2,
 	})
 	tbl := forks.New(r, g, tableInst, hb, forks.Config{})
+	if *chaosCrash >= 0 && *extract {
+		// The extraction boxes simulate every diner inside each real process;
+		// they have no restart story, so a chaos run would freeze the box of
+		// the crashed process and poison the suspect stream.
+		fmt.Println("dineserve: chaos crash enabled, disabling -extract")
+		*extract = false
+	}
 	if *extract {
 		procs := make([]rt.ProcID, *n)
 		for i := range procs {
@@ -78,7 +91,11 @@ func main() {
 		core.NewExtractor(r, procs, forks.Factory(hb, forks.Config{}), extInst)
 	}
 
-	srv := newServer(r, tbl, feed)
+	leaseTicks := int64(0)
+	if *lease > 0 {
+		leaseTicks = int64(*lease / *tick)
+	}
+	srv := newServer(r, tbl, feed, leaseTicks, *maxInFl)
 	r.Start()
 	ln, err := srv.listen(*addr)
 	if err != nil {
@@ -86,6 +103,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("dineserve: listening on %s (%d diners, %s)\n", ln.Addr(), *n, *topology)
+
+	if *chaosCrash >= 0 && *chaosCrash < *n {
+		p := rt.ProcID(*chaosCrash)
+		go func() {
+			time.Sleep(*chaosCrashAt)
+			fmt.Printf("dineserve: chaos — crashing diner %d\n", p)
+			r.Crash(p)
+			time.Sleep(*chaosRestart)
+			if r.Restart(p, func() {
+				tbl.Reset(p)
+				hb.Reset(p)
+			}) {
+				fmt.Printf("dineserve: chaos — diner %d restarted\n", p)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -96,8 +129,9 @@ func main() {
 
 	end := r.Now()
 	r.Stop()
-	fmt.Printf("dineserve: granted=%d released=%d steps=%d msgs=%d\n",
-		srv.granted.Load(), srv.released.Load(), r.Counter("steps"), r.Counter("msg.delivered"))
+	fmt.Printf("dineserve: granted=%d released=%d expired=%d shed=%d steps=%d msgs=%d\n",
+		srv.granted.Load(), srv.released.Load(), srv.expired.Load(), srv.shed.Load(),
+		r.Counter("steps"), r.Counter("msg.delivered"))
 
 	// The service's whole life is the run; require exclusion mistakes to
 	// have stopped by its midpoint. With no crashes and sane timeouts there

@@ -21,13 +21,25 @@ const (
 )
 
 // server is the TCP front end: it owns the listener, connection handlers,
-// and one manager goroutine per diner. Protocol state stays inside the live
-// runtime; the server talks to it only through rt.Invoke and the diner
-// callbacks, so nothing here races with protocol steps.
+// the session registry, and one manager goroutine per diner. Protocol state
+// stays inside the live runtime; the server talks to it only through
+// rt.Invoke and the diner callbacks, so nothing here races with protocol
+// steps.
+//
+// Sessions survive their connections: a client that reconnects and replays
+// its acquire (same diner and id) re-attaches to the in-flight session
+// instead of opening a second one, and a granted session whose client stays
+// away longer than the lease is forcibly released by the janitor so a dead
+// client cannot wedge a diner forever.
 type server struct {
-	r    *live.Runtime
-	feed *suspectFeed
-	mgrs []*dinerMgr
+	r        *live.Runtime
+	feed     *suspectFeed
+	mgrs     []*dinerMgr
+	sessions *lockproto.Sessions
+	// maxInflight bounds accepted-but-unfinished sessions; beyond it new
+	// acquires are shed with "overloaded" (graceful degradation instead of
+	// unbounded queue growth). 0 = unlimited.
+	maxInflight int64
 
 	ln       net.Listener
 	stop     chan struct{}
@@ -36,17 +48,25 @@ type server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	sesMu sync.Mutex
+	byKey map[lockproto.Key]*session
+
 	inFlight atomic.Int64 // sessions accepted but not yet finished
 	granted  atomic.Int64
 	released atomic.Int64
+	expired  atomic.Int64 // sessions reclaimed by the lease janitor
+	shed     atomic.Int64 // acquires refused with "overloaded"
 }
 
-func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed) *server {
+func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, leaseTicks int64, maxInflight int64) *server {
 	s := &server{
-		r:     r,
-		feed:  feed,
-		stop:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
+		r:           r,
+		feed:        feed,
+		sessions:    lockproto.NewSessions(leaseTicks),
+		maxInflight: maxInflight,
+		stop:        make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+		byKey:       make(map[lockproto.Key]*session),
 	}
 	for _, p := range tbl.Graph().Nodes() {
 		m := &dinerMgr{
@@ -57,8 +77,11 @@ func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed) *server {
 			grant: make(chan struct{}, 1),
 			idle:  make(chan struct{}, 1),
 		}
-		// Registered before Start: both callbacks run on p's goroutine.
+		// Registered before Start: both callbacks run on p's goroutine. The
+		// eating flag lets the manager distinguish a real grant from a stale
+		// pulse left behind by a chaos crash/restart.
 		m.d.OnChange(func(st dining.State) {
+			m.eating.Store(st == dining.Eating)
 			switch st {
 			case dining.Eating:
 				pulse(m.grant)
@@ -78,6 +101,13 @@ func pulse(ch chan struct{}) {
 	}
 }
 
+func drainPulse(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
 func (s *server) listen(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -87,7 +117,38 @@ func (s *server) listen(addr string) (net.Listener, error) {
 	for _, m := range s.mgrs {
 		go m.run()
 	}
+	go s.janitor()
 	return ln, nil
+}
+
+// janitor periodically expires detached sessions whose lease ran out. A
+// granted one gets its critical section forcibly released — the dining
+// service stays wait-free even when clients die silently.
+func (s *server) janitor() {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-s.stop:
+			return
+		}
+		for _, e := range s.sessions.Expire(int64(s.r.Now())) {
+			s.expired.Add(1)
+			s.sesMu.Lock()
+			ses := s.byKey[e.Key]
+			s.sesMu.Unlock()
+			if ses != nil && e.WasGranted {
+				ses.finishRelease()
+			}
+		}
+	}
+}
+
+func (s *server) dropSession(k lockproto.Key) {
+	s.sesMu.Lock()
+	delete(s.byKey, k)
+	s.sesMu.Unlock()
 }
 
 func (s *server) accept() {
@@ -138,16 +199,23 @@ func (j *jconn) send(ev lockproto.Event) bool {
 }
 
 func (s *server) handleConn(c net.Conn) {
+	jc := &jconn{c: c, enc: json.NewEncoder(c)}
+	attached := make(map[lockproto.Key]*session)
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, c)
 		s.connMu.Unlock()
 		c.Close()
+		// Detach, don't abandon: the sessions stay in flight so the client
+		// can reconnect and resume them; the lease clock starts now.
+		now := int64(s.r.Now())
+		for k, ses := range attached {
+			ses.detach(jc)
+			s.sessions.Detach(k, now)
+		}
 	}()
-	jc := &jconn{c: c, enc: json.NewEncoder(c)}
 	gone := make(chan struct{})
-	defer close(gone) // cancels queued sessions and the watch forwarder
-	held := make(map[string]*session)
+	defer close(gone) // cancels the watch forwarder
 
 	fail := func(req lockproto.Request, msg string) {
 		jc.send(lockproto.Event{Ev: lockproto.EvError, Diner: req.Diner, ID: req.ID, Msg: msg})
@@ -172,36 +240,79 @@ func (s *server) handleConn(c net.Conn) {
 				fail(req, "draining")
 				continue
 			}
-			key := fmt.Sprintf("%d/%s", req.Diner, req.ID)
-			if _, dup := held[key]; dup {
-				fail(req, "session id already in use")
-				continue
-			}
-			ses := &session{
-				id:      req.ID,
-				diner:   req.Diner,
-				gone:    gone,
-				release: make(chan struct{}),
-				send:    jc.send,
-			}
-			s.inFlight.Add(1)
-			select {
-			case s.mgrs[req.Diner].queue <- ses:
-				held[key] = ses
-			default:
-				s.inFlight.Add(-1)
-				fail(req, "busy")
+			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
+			now := int64(s.r.Now())
+			switch s.sessions.Acquire(key, now) {
+			case lockproto.AcquireNew:
+				if s.maxInflight > 0 && s.inFlight.Load() >= s.maxInflight {
+					s.sessions.Abort(key)
+					s.shed.Add(1)
+					fail(req, "overloaded")
+					continue
+				}
+				ses := newSession(key)
+				s.sesMu.Lock()
+				s.byKey[key] = ses
+				s.sesMu.Unlock()
+				s.sessions.Attach(key, now)
+				ses.attach(jc)
+				attached[key] = ses
+				s.inFlight.Add(1)
+				select {
+				case s.mgrs[req.Diner].queue <- ses:
+				default:
+					s.inFlight.Add(-1)
+					ses.detach(jc)
+					delete(attached, key)
+					s.dropSession(key)
+					s.sessions.Abort(key)
+					fail(req, "busy")
+				}
+
+			case lockproto.AcquirePending, lockproto.AcquireGranted:
+				// Replay after a reconnect: re-attach. attach re-sends the
+				// grant notification if it was already issued; the critical
+				// section itself is never granted twice. The registry counts
+				// bindings, so this Attach and the dying connection's deferred
+				// Detach land safely in either order.
+				s.sesMu.Lock()
+				ses := s.byKey[key]
+				s.sesMu.Unlock()
+				if ses == nil {
+					// Completed between the registry check and here.
+					fail(req, "session expired")
+					continue
+				}
+				if attached[key] == nil {
+					s.sessions.Attach(key, now)
+				}
+				ses.attach(jc)
+				attached[key] = ses
+
+			case lockproto.AcquireDone:
+				fail(req, "session expired")
 			}
 
 		case lockproto.OpRelease:
-			key := fmt.Sprintf("%d/%s", req.Diner, req.ID)
-			ses, ok := held[key]
-			if !ok {
+			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
+			switch s.sessions.Release(key, int64(s.r.Now())) {
+			case lockproto.ReleaseGranted:
+				s.sesMu.Lock()
+				ses := s.byKey[key]
+				s.sesMu.Unlock()
+				if ses != nil {
+					ses.finishRelease() // the manager sends EvReleased after the exit
+				}
+			case lockproto.ReleasePending:
+				// Released before the grant: the manager unwinds silently
+				// when the grant arrives; acknowledge the client now.
+				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: int64(s.r.Now())})
+			case lockproto.ReleaseDone:
+				// Replayed release (the first ack was lost): re-acknowledge.
+				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: int64(s.r.Now())})
+			case lockproto.ReleaseUnknown:
 				fail(req, "unknown session")
-				continue
 			}
-			delete(held, key)
-			close(ses.release)
 
 		case lockproto.OpWatch:
 			snapshot, ch, cancel := s.feed.subscribe()
@@ -230,81 +341,187 @@ func (s *server) handleConn(c net.Conn) {
 	}
 }
 
-// session is one acquire from queue to release, owned by a dinerMgr after
-// being enqueued. The connection signals through release (client asked) and
-// gone (client vanished); the manager replies through send.
+// session is one acquire from registry entry to release, owned by a
+// dinerMgr after being enqueued. Its connection binding is mutable: the
+// client may vanish and re-attach from a new connection mid-session.
 type session struct {
-	id      string
-	diner   int
-	gone    <-chan struct{}
+	key     lockproto.Key
 	release chan struct{}
-	send    func(lockproto.Event) bool
+	relOnce sync.Once
+
+	mu      sync.Mutex
+	conn    *jconn // nil while detached
+	granted bool
+	grantEv lockproto.Event
+}
+
+func newSession(k lockproto.Key) *session {
+	return &session{key: k, release: make(chan struct{})}
+}
+
+// finishRelease signals the manager to free the critical section (or to
+// unwind, if it has not granted yet). Idempotent: the client's release and
+// the janitor's expiry may race.
+func (s *session) finishRelease() { s.relOnce.Do(func() { close(s.release) }) }
+
+// attach binds the session to a connection; if the grant was already issued
+// the (possibly lost) notification is re-sent on the new connection.
+func (s *session) attach(jc *jconn) {
+	s.mu.Lock()
+	s.conn = jc
+	resend := s.granted
+	ev := s.grantEv
+	s.mu.Unlock()
+	if resend {
+		jc.send(ev)
+	}
+}
+
+// detach unbinds the session if it is still bound to jc (a newer connection
+// may have taken over).
+func (s *session) detach(jc *jconn) {
+	s.mu.Lock()
+	if s.conn == jc {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+}
+
+// markGranted records and sends the grant notification.
+func (s *session) markGranted(ev lockproto.Event) {
+	s.mu.Lock()
+	s.granted = true
+	s.grantEv = ev
+	jc := s.conn
+	s.mu.Unlock()
+	if jc != nil {
+		jc.send(ev)
+	}
+}
+
+// notify sends ev if a connection is attached.
+func (s *session) notify(ev lockproto.Event) {
+	s.mu.Lock()
+	jc := s.conn
+	s.mu.Unlock()
+	if jc != nil {
+		jc.send(ev)
+	}
 }
 
 // dinerMgr serializes sessions onto one diner: pop an acquire, make the
 // diner hungry, wait for the dining layer's grant, hand the critical section
-// to the client, and exit when the client releases (or disappears). All
-// diner calls go through Invoke, so they are steps of the diner's process.
+// to the client, and exit when the client releases, disappears past its
+// lease, or released while still queued. All diner calls go through Invoke,
+// so they are steps of the diner's process.
 type dinerMgr struct {
-	srv   *server
-	p     rt.ProcID
-	d     dining.Diner
-	queue chan *session
-	grant chan struct{} // pulsed by OnChange(Eating)
-	idle  chan struct{} // pulsed by OnChange(Thinking)
+	srv    *server
+	p      rt.ProcID
+	d      dining.Diner
+	queue  chan *session
+	grant  chan struct{} // pulsed by OnChange(Eating)
+	idle   chan struct{} // pulsed by OnChange(Thinking)
+	eating atomic.Bool   // mirrors the diner's state, set in OnChange
+}
+
+// hungry best-effort requests the critical section; refused while the diner
+// process is crashed (a chaos restart re-triggers via the idle pulse).
+func (m *dinerMgr) hungry() {
+	m.srv.r.Invoke(m.p, func() {
+		if m.d.State() == dining.Thinking {
+			m.d.Hungry()
+		}
+	})
+}
+
+// exitCS best-effort leaves the critical section.
+func (m *dinerMgr) exitCS() {
+	m.srv.r.Invoke(m.p, func() {
+		if m.d.State() == dining.Eating {
+			m.d.Exit()
+		}
+	})
+}
+
+// waitIdle blocks until the diner is back to thinking (or the server
+// stops). Returns false on stop.
+func (m *dinerMgr) waitIdle() bool {
+	for {
+		select {
+		case <-m.idle:
+			if !m.eating.Load() {
+				return true
+			}
+		case <-m.srv.stop:
+			return false
+		}
+	}
 }
 
 func (m *dinerMgr) run() {
 	for {
-		var s *session
+		var ses *session
 		select {
-		case s = <-m.queue:
+		case ses = <-m.queue:
 		case <-m.srv.stop:
 			return
 		}
-		select {
-		case <-s.gone: // client left while queued
+		// Stale pulses from a previous cycle (or a chaos restart) must not
+		// satisfy this session's waits.
+		drainPulse(m.grant)
+		drainPulse(m.idle)
+		m.hungry()
+		// Wait for the dining layer's grant. A crash/restart of the diner's
+		// process knocks it back to Thinking (pulsing idle); re-request
+		// instead of wedging forever.
+	grantWait:
+		for {
+			select {
+			case <-m.grant:
+				if m.eating.Load() {
+					break grantWait
+				}
+				// Stale pulse (crash hit right after the transition): the
+				// restart's idle pulse will re-trigger hungry below.
+			case <-m.idle:
+				m.hungry()
+			case <-m.srv.stop:
+				m.srv.inFlight.Add(-1)
+				return
+			}
+		}
+		if !m.srv.sessions.Grant(ses.key, int64(m.srv.r.Now())) {
+			// Released or expired while queued: hand the section straight
+			// back without ever exposing it.
+			m.exitCS()
+			if !m.waitIdle() {
+				m.srv.inFlight.Add(-1)
+				return
+			}
+			m.srv.dropSession(ses.key)
 			m.srv.inFlight.Add(-1)
 			continue
-		default:
-		}
-		if !m.srv.r.Invoke(m.p, func() {
-			if m.d.State() == dining.Thinking {
-				m.d.Hungry()
-			}
-		}) {
-			s.send(lockproto.Event{Ev: lockproto.EvError, Diner: s.diner, ID: s.id, Msg: "runtime stopped"})
-			m.srv.inFlight.Add(-1)
-			return
-		}
-		select {
-		case <-m.grant:
-		case <-m.srv.stop:
-			m.srv.inFlight.Add(-1)
-			return
 		}
 		m.srv.granted.Add(1)
-		s.send(lockproto.Event{Ev: lockproto.EvGranted, Diner: s.diner, ID: s.id, T: int64(m.srv.r.Now())})
+		ses.markGranted(lockproto.Event{
+			Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: int64(m.srv.r.Now()),
+		})
 		select {
-		case <-s.release:
-		case <-s.gone: // auto-release: a dead client must not wedge the diner
+		case <-ses.release:
 		case <-m.srv.stop:
 			m.srv.inFlight.Add(-1)
 			return
 		}
-		m.srv.r.Invoke(m.p, func() {
-			if m.d.State() == dining.Eating {
-				m.d.Exit()
-			}
-		})
-		select {
-		case <-m.idle:
-		case <-m.srv.stop:
+		m.exitCS()
+		if !m.waitIdle() {
 			m.srv.inFlight.Add(-1)
 			return
 		}
 		m.srv.released.Add(1)
-		s.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: s.diner, ID: s.id, T: int64(m.srv.r.Now())})
+		ses.notify(lockproto.Event{
+			Ev: lockproto.EvReleased, Diner: ses.key.Diner, ID: ses.key.ID, T: int64(m.srv.r.Now()),
+		})
+		m.srv.dropSession(ses.key)
 		m.srv.inFlight.Add(-1)
 	}
 }

@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/sim"
+)
+
+func TestLiveSpecValidate(t *testing.T) {
+	good := LiveSpec{Topology: "ring", N: 5, Seed: 1,
+		Crashes: []LiveCrash{{P: 2, At: time.Second, RestartAfter: 500 * time.Millisecond}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := []LiveSpec{
+		{Topology: "ring", N: 1},
+		{Topology: "möbius", N: 5},
+		{Topology: "ring", N: 5, Crashes: []LiveCrash{{P: 9, RestartAfter: time.Second}}},
+		{Topology: "ring", N: 5, Crashes: []LiveCrash{{P: 1, At: time.Second}}}, // no gap
+		{Topology: "ring", N: 5, Crashes: []LiveCrash{ // recovers after the half-point
+			{P: 1, At: 3 * time.Second, RestartAfter: time.Second}}},
+		{Topology: "ring", N: 5, Links: &LinkSpec{ // window past the half-point
+			Windows: []WindowSpec{{Start: 0, End: 1 << 40, Drop: 1}}}},
+		{Topology: "ring", N: 5, Crashes: []LiveCrash{ // duplicate crash
+			{P: 1, At: time.Second, RestartAfter: 100 * time.Millisecond},
+			{P: 1, At: time.Second, RestartAfter: 100 * time.Millisecond}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestRunLiveChaos is the in-process acceptance run: message drops, one
+// partition window, and one crash/restart against a real live table, with
+// the shared checkers rendering the verdict. Timing-sensitive by nature, so
+// the schedule is kept gentle enough for a loaded CI machine.
+func TestRunLiveChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos run occupies seconds of wall clock")
+	}
+	spec := LiveSpec{
+		Topology: "ring", N: 5, Seed: 7,
+		Tick:     500 * time.Microsecond,
+		Duration: 6 * time.Second,
+		Links: &LinkSpec{
+			Drop: 0.10,
+			Windows: []WindowSpec{
+				// ~0.5s..1s into the run: one side of the ring is cut off.
+				{Start: 1000, End: 2000, Drop: 1, Side: []sim.ProcID{0, 1}},
+			},
+		},
+		Crashes: []LiveCrash{{P: 2, At: 1500 * time.Millisecond, RestartAfter: 500 * time.Millisecond}},
+	}
+	res, err := RunLive(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("live chaos run failed: %v", res.Failures)
+	}
+	if res.Dropped == 0 {
+		t.Error("fault schedule dropped nothing")
+	}
+	if res.Recovered != 1 {
+		t.Errorf("recovered = %d, want 1", res.Recovered)
+	}
+	for p, meals := range res.Meals {
+		if meals == 0 {
+			t.Errorf("diner %d never ate", p)
+		}
+	}
+}
+
+// TestLiveCampaignInterrupt: an interrupt closed before the campaign starts
+// skips every spec and the report says so.
+func TestLiveCampaignInterrupt(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt)
+	c := LiveCampaign{
+		Specs:     []LiveSpec{{Topology: "ring", N: 5, Seed: 1}, {Topology: "ring", N: 5, Seed: 2}},
+		Interrupt: interrupt,
+	}
+	rep := c.Run()
+	if !rep.Interrupted() {
+		t.Error("campaign not marked interrupted")
+	}
+	if rep.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", rep.Skipped)
+	}
+	if rep.Clean() != true {
+		t.Error("an interrupted-before-start campaign has no failures")
+	}
+	_ = rep.Render()
+	_ = rt.ProcID(0)
+}

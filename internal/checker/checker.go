@@ -34,18 +34,21 @@ type ExclusionReport struct {
 }
 
 // Exclusion finds every overlap of live neighbors' eating sessions in the
-// given dining instance. A session of a process that had crashed by the
-// overlap is not a violation: both exclusion criteria only constrain live
-// neighbors. horizon is the run end (for still-open sessions).
+// given dining instance. Periods during which either endpoint was dead (its
+// crash not yet followed by a recover) are subtracted from each overlap:
+// both exclusion criteria only constrain live neighbors, but a recovered
+// process is live again, so its post-recovery sessions count in full.
+// horizon is the run end (for still-open sessions).
 func Exclusion(l *trace.Log, g *graph.Graph, inst string, horizon sim.Time) ExclusionReport {
 	eat := l.Sessions("eating")
-	crash := l.CrashTimes()
+	dead := l.DeadIntervals()
 	var rep ExclusionReport
 	rep.LastViolation = sim.Never
 	for _, e := range g.Edges() {
 		a, b := e[0], e[1]
 		as := eat[trace.SessionKey{Inst: inst, P: a}]
 		bs := eat[trace.SessionKey{Inst: inst, P: b}]
+		downtime := append(append([]trace.Interval(nil), dead[a]...), dead[b]...)
 		for _, ia := range as {
 			for _, ib := range bs {
 				if !ia.Overlaps(ib, horizon) {
@@ -56,26 +59,45 @@ func Exclusion(l *trace.Log, g *graph.Graph, inst string, horizon sim.Time) Excl
 				if e2 := endOr(ib.End, horizon); e2 < hi {
 					hi = e2
 				}
-				// Trim the overlap by crash times: a dead process is not a
-				// live eater.
-				if ct, ok := crash[a]; ok && ct < hi {
-					hi = ct
-				}
-				if ct, ok := crash[b]; ok && ct < hi {
-					hi = ct
-				}
-				if lo >= hi {
-					continue
-				}
-				rep.Violations = append(rep.Violations, Violation{Inst: inst, A: a, B: b, T: lo})
-				if hi > rep.LastViolation {
-					rep.LastViolation = hi
+				for _, seg := range subtractDead(lo, hi, downtime) {
+					rep.Violations = append(rep.Violations, Violation{Inst: inst, A: a, B: b, T: seg.Start})
+					if seg.End > rep.LastViolation {
+						rep.LastViolation = seg.End
+					}
 				}
 			}
 		}
 	}
 	sort.Slice(rep.Violations, func(i, j int) bool { return rep.Violations[i].T < rep.Violations[j].T })
 	return rep
+}
+
+// subtractDead removes every dead period from [lo, hi) and returns the
+// surviving sub-intervals in time order. An open dead interval (End ==
+// sim.Never) extends past hi.
+func subtractDead(lo, hi sim.Time, dead []trace.Interval) []trace.Interval {
+	segs := []trace.Interval{{Start: lo, End: hi}}
+	for _, d := range dead {
+		dEnd := d.End
+		if dEnd == sim.Never {
+			dEnd = hi
+		}
+		var next []trace.Interval
+		for _, s := range segs {
+			if d.Start >= s.End || dEnd <= s.Start {
+				next = append(next, s)
+				continue
+			}
+			if d.Start > s.Start {
+				next = append(next, trace.Interval{Start: s.Start, End: d.Start})
+			}
+			if dEnd < s.End {
+				next = append(next, trace.Interval{Start: dEnd, End: s.End})
+			}
+		}
+		segs = next
+	}
+	return segs
 }
 
 // EventualWeakExclusion checks ◇WX: finitely many violations, all ending

@@ -44,7 +44,12 @@ type Heartbeat struct {
 }
 
 type hbModule struct {
+	k        rt.Runtime
+	name     string
+	cfg      HeartbeatConfig
+	port     string
 	self     rt.ProcID
+	n        int
 	lastBeat map[rt.ProcID]rt.Time
 	deadline map[rt.ProcID]rt.Time
 	timeout  map[rt.ProcID]rt.Time
@@ -58,62 +63,99 @@ func NewHeartbeat(k rt.Runtime, name string, cfg HeartbeatConfig) *Heartbeat {
 	for i := 0; i < k.N(); i++ {
 		p := rt.ProcID(i)
 		m := &hbModule{
-			self:     p,
-			lastBeat: make(map[rt.ProcID]rt.Time),
-			deadline: make(map[rt.ProcID]rt.Time),
-			timeout:  make(map[rt.ProcID]rt.Time),
-			suspects: make(map[rt.ProcID]bool),
+			k:    k,
+			name: name,
+			cfg:  cfg,
+			port: fmt.Sprintf("%s/hb", name),
+			self: p,
+			n:    k.N(),
 		}
 		h.mods[i] = m
-		for j := 0; j < k.N(); j++ {
-			if j == i {
-				continue
-			}
-			q := rt.ProcID(j)
-			m.timeout[q] = cfg.Timeout
-			m.deadline[q] = cfg.Timeout
-		}
-		port := fmt.Sprintf("%s/hb", name)
-		k.Handle(p, port, func(msg rt.Message) {
-			m.lastBeat[msg.From] = k.Now()
-			m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
-			if m.suspects[msg.From] {
-				// Premature suspicion: trust again and learn.
-				m.suspects[msg.From] = false
-				m.timeout[msg.From] += cfg.Bump
-				m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
-				emitChange(k, name, p, msg.From, false)
-			}
-		})
-		// Periodic broadcast.
-		var beat func()
-		beat = func() {
-			for j := 0; j < k.N(); j++ {
-				if rt.ProcID(j) != p {
-					k.Send(p, rt.ProcID(j), port, nil)
-				}
-			}
-			k.After(p, cfg.Interval, beat)
-		}
-		k.After(p, 1+rt.Time(i)%cfg.Interval, beat)
-		// Periodic suspicion check.
-		var check func()
-		check = func() {
-			for j := 0; j < k.N(); j++ {
-				q := rt.ProcID(j)
-				if q == p || m.suspects[q] {
-					continue
-				}
-				if k.Now() > m.deadline[q] {
-					m.suspects[q] = true
-					emitChange(k, name, p, q, true)
-				}
-			}
-			k.After(p, cfg.Check, check)
-		}
-		k.After(p, cfg.Check, check)
+		m.init()
+		k.Handle(p, m.port, m.onBeat)
+		m.arm(1 + rt.Time(i)%cfg.Interval)
 	}
 	return h
+}
+
+// init (re)creates the module's mutable maps: everyone trusted, deadlines
+// one full timeout from now.
+func (m *hbModule) init() {
+	m.lastBeat = make(map[rt.ProcID]rt.Time)
+	m.deadline = make(map[rt.ProcID]rt.Time)
+	m.timeout = make(map[rt.ProcID]rt.Time)
+	m.suspects = make(map[rt.ProcID]bool)
+	for j := 0; j < m.n; j++ {
+		q := rt.ProcID(j)
+		if q == m.self {
+			continue
+		}
+		m.timeout[q] = m.cfg.Timeout
+		m.deadline[q] = m.k.Now() + m.cfg.Timeout
+	}
+}
+
+// arm starts the periodic broadcast and suspicion-check timer chains.
+func (m *hbModule) arm(firstBeat rt.Time) {
+	m.k.After(m.self, firstBeat, m.beat)
+	m.k.After(m.self, m.cfg.Check, m.check)
+}
+
+func (m *hbModule) onBeat(msg rt.Message) {
+	k := m.k
+	m.lastBeat[msg.From] = k.Now()
+	m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
+	if m.suspects[msg.From] {
+		// Premature suspicion: trust again and learn.
+		m.suspects[msg.From] = false
+		m.timeout[msg.From] += m.cfg.Bump
+		m.deadline[msg.From] = k.Now() + m.timeout[msg.From]
+		emitChange(k, m.name, m.self, msg.From, false)
+	}
+}
+
+// beat broadcasts one heartbeat round and reschedules itself.
+func (m *hbModule) beat() {
+	for j := 0; j < m.n; j++ {
+		if rt.ProcID(j) != m.self {
+			m.k.Send(m.self, rt.ProcID(j), m.port, nil)
+		}
+	}
+	m.k.After(m.self, m.cfg.Interval, m.beat)
+}
+
+// check suspects every peer whose heartbeat is overdue and reschedules
+// itself.
+func (m *hbModule) check() {
+	for j := 0; j < m.n; j++ {
+		q := rt.ProcID(j)
+		if q == m.self || m.suspects[q] {
+			continue
+		}
+		if m.k.Now() > m.deadline[q] {
+			m.suspects[q] = true
+			emitChange(m.k, m.name, m.self, q, true)
+		}
+	}
+	m.k.After(m.self, m.cfg.Check, m.check)
+}
+
+// Reset reinstalls p's monitor state after a crash-restart: every peer is
+// trusted again (emitting trust records for peers the dead incarnation
+// suspected, so the suspicion history in the trace stays well-bracketed),
+// deadlines restart one full timeout from now, learned timeouts are
+// forgotten, and the broadcast/check timer chains — whose previous
+// incarnation died with the crash — are re-armed. Call it from the reboot
+// hook of live.Runtime.Restart.
+func (h *Heartbeat) Reset(p rt.ProcID) {
+	m := h.mods[p]
+	for q, s := range m.suspects {
+		if s {
+			emitChange(h.k, h.name, p, q, false)
+		}
+	}
+	m.init()
+	m.arm(1 + rt.Time(p)%m.cfg.Interval)
 }
 
 // Name implements Oracle.

@@ -127,14 +127,27 @@ func (c *Core) Set(s State) {
 	}
 }
 
+// Reset forces the diner back to Thinking regardless of its current phase,
+// bypassing the legal-transition check. It models a crash-recovery reboot:
+// whatever phase the previous incarnation died in, the fresh one starts
+// thinking. A state record is emitted and OnChange callbacks fire (so an
+// attached Drive client re-schedules its next hunger), but OnEat does not.
+func (c *Core) Reset() {
+	c.state = Thinking
+	c.K.Emit(rt.Record{P: c.P, Kind: "state", Peer: -1, Inst: c.Inst, Note: Thinking.String()})
+	for _, f := range c.onChange {
+		f(Thinking)
+	}
+}
+
 // DriverConfig shapes the synthetic think/eat client behavior used by tests,
 // examples and benchmarks.
 type DriverConfig struct {
 	ThinkMin, ThinkMax rt.Time // thinking duration before the next hunger
 	EatMin, EatMax     rt.Time // eating duration before Exit
-	Meals              int      // stop after this many meals; 0 = forever
+	Meals              int     // stop after this many meals; 0 = forever
 	FirstHunger        rt.Time // delay before the first hunger (0 = ThinkMin..ThinkMax)
-	NeverExit          bool     // enter the critical section once and stay (used by the Section-3 counterexample)
+	NeverExit          bool    // enter the critical section once and stay (used by the Section-3 counterexample)
 }
 
 // Drive attaches a synthetic client to diner d at process p: it cycles

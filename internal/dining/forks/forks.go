@@ -112,6 +112,18 @@ type reqMsg struct {
 
 type forkMsg struct{}
 
+// syncMsg is sent by a restarted diner to every neighbor: "my fork state is
+// gone — do you hold the fork of our edge?" It is retransmitted until acked.
+type syncMsg struct{}
+
+// syncAckMsg answers a syncMsg with the responder's holding bit. The
+// restarted diner mints a fresh fork for the edge iff Hold is false, which
+// restores the one-fork-per-edge invariant (the old token either reached the
+// neighbor before the restart or was dropped at the crashed process).
+type syncAckMsg struct {
+	Hold bool
+}
+
 type module struct {
 	*dining.Core
 	k      rt.Runtime
@@ -124,6 +136,12 @@ type module struct {
 
 	clock    int64 // Lamport clock
 	hungerTS int64 // timestamp of the current hunger session
+
+	// resync holds the neighbors whose syncAck we still await after a Reset.
+	// While an edge is pending here its fork is neither held nor mintable;
+	// the suspicion override still applies, so a dead neighbor cannot wedge
+	// the restarted diner.
+	resync map[rt.ProcID]bool
 }
 
 func newModule(k rt.Runtime, g *graph.Graph, name string, p rt.ProcID, oracle detector.Oracle, cfg Config) *module {
@@ -144,6 +162,8 @@ func newModule(k rt.Runtime, g *graph.Graph, name string, p rt.ProcID, oracle de
 	}
 	k.Handle(p, m.prefix+"/req", m.onReq)
 	k.Handle(p, m.prefix+"/fork", m.onFork)
+	k.Handle(p, m.prefix+"/sync", m.onSync)
+	k.Handle(p, m.prefix+"/syncack", m.onSyncAck)
 	k.AddAction(p, m.prefix+"/eat", m.canEat, m.eat)
 	k.AddAction(p, m.prefix+"/exit-done", func() bool { return m.State() == dining.Exiting }, m.finishExit)
 	return m
@@ -235,6 +255,8 @@ func (m *module) onFork(msg rt.Message) {
 		return
 	}
 	e.hold = true
+	// A real fork settles a pending resync of its edge: no need to mint.
+	delete(m.resync, msg.From)
 	if e.wanted && m.State() == dining.Thinking {
 		m.yield(msg.From)
 	}
@@ -271,5 +293,85 @@ func (m *module) scheduleRetry() {
 		}
 		m.requestMissing()
 		m.scheduleRetry()
+	})
+}
+
+// Reset reinstalls p's module state after a crash-restart: the diner returns
+// to Thinking and every incident edge is resynchronized with its other
+// endpoint via the sync/syncack handshake, which decides afresh who holds
+// the edge's fork. Call it from the reboot hook of live.Runtime.Restart; the
+// restart must happen strictly later than any message the dead incarnation
+// had in flight (in practice: the crash->restart gap exceeds the bus's
+// maximum delivery delay), otherwise a stale in-flight fork could coexist
+// with a minted one.
+func (t *Table) Reset(p rt.ProcID) {
+	m, ok := t.mods[p]
+	if !ok {
+		panic(fmt.Sprintf("forks: %d is not a diner of %s", p, t.name))
+	}
+	m.Core.Reset()
+	m.hungerTS = 0
+	m.resync = make(map[rt.ProcID]bool)
+	for _, q := range m.nbrs {
+		e := m.edges[q]
+		e.hold = false
+		e.wanted = false
+		m.resync[q] = true
+		m.k.Send(m.self, q, m.prefix+"/sync", syncMsg{})
+	}
+	m.scheduleSyncRetry()
+}
+
+// onSync answers a restarted neighbor's state query. Any deferred-request
+// memory for that neighbor is dropped — its hunger session died with it. If
+// both endpoints are resyncing the same edge at once (both restarted), the
+// lower id mints the fork immediately and the ack tells the higher id it
+// lost the tie; the resync guard in onSyncAck discards the mirror-image ack.
+func (m *module) onSync(msg rt.Message) {
+	q := msg.From
+	e, ok := m.edges[q]
+	if !ok {
+		return
+	}
+	e.wanted = false
+	if m.resync[q] {
+		delete(m.resync, q)
+		if m.self < q {
+			e.hold = true
+		}
+	}
+	m.k.Send(m.self, q, m.prefix+"/syncack", syncAckMsg{Hold: e.hold})
+}
+
+// onSyncAck resolves one pending edge of a resync: mint the fork iff the
+// neighbor does not hold it. Duplicate or stale acks are ignored via the
+// pending set, so replayed frames cannot mint a second fork.
+func (m *module) onSyncAck(msg rt.Message) {
+	q := msg.From
+	e, ok := m.edges[q]
+	if !ok || !m.resync[q] {
+		return
+	}
+	delete(m.resync, q)
+	if !msg.Payload.(syncAckMsg).Hold {
+		e.hold = true
+		if e.wanted && m.State() == dining.Thinking {
+			m.yield(q)
+		}
+	}
+}
+
+// scheduleSyncRetry retransmits outstanding sync queries until every edge is
+// settled, so a resync survives message loss and a neighbor that is itself
+// down for a while.
+func (m *module) scheduleSyncRetry() {
+	m.k.After(m.self, m.cfg.Retry, func() {
+		if len(m.resync) == 0 {
+			return
+		}
+		for q := range m.resync {
+			m.k.Send(m.self, q, m.prefix+"/sync", syncMsg{})
+		}
+		m.scheduleSyncRetry()
 	})
 }

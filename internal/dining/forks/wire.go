@@ -8,4 +8,6 @@ import "encoding/gob"
 func RegisterWire() {
 	gob.Register(reqMsg{})
 	gob.Register(forkMsg{})
+	gob.Register(syncMsg{})
+	gob.Register(syncAckMsg{})
 }

@@ -78,6 +78,14 @@ type process struct {
 	notify  chan struct{}
 	crashed atomic.Bool
 
+	// gen is the incarnation counter: bumped by Crash, so timers scheduled
+	// by a previous incarnation are dropped instead of firing into the state
+	// of a restarted process.
+	gen atomic.Int64
+	// loopDone is closed when the current incarnation's loop goroutine
+	// returns; Restart waits on it so two loops never share one mailbox.
+	loopDone chan struct{}
+
 	nextStep time.Time // earliest wall time for the next action step
 }
 
@@ -102,6 +110,9 @@ type Runtime struct {
 	stop    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+	// lifeMu orders goroutine spawns (Restart) against shutdown (Stop), so
+	// wg.Add never races wg.Wait.
+	lifeMu sync.Mutex
 
 	emitMu sync.Mutex
 	seq    int64
@@ -208,12 +219,21 @@ func (r *Runtime) Start() {
 		if !pr.local {
 			continue
 		}
-		r.wg.Add(1)
-		go func(pr *process) {
-			defer r.wg.Done()
-			r.loop(pr)
-		}(pr)
+		r.spawn(pr)
 	}
+}
+
+// spawn launches one incarnation of pr's loop goroutine. Callers must hold
+// lifeMu or be the single Start caller.
+func (r *Runtime) spawn(pr *process) {
+	done := make(chan struct{})
+	pr.loopDone = done
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(done)
+		r.loop(pr)
+	}()
 }
 
 // Stop shuts the runtime down: process loops exit after finishing their
@@ -224,6 +244,9 @@ func (r *Runtime) Stop() {
 		return
 	}
 	close(r.stop)
+	// Taking lifeMu here orders any in-flight Restart spawn before the wait.
+	r.lifeMu.Lock()
+	r.lifeMu.Unlock()
 	r.wg.Wait()
 	r.bus.Close()
 }
@@ -316,7 +339,9 @@ func (r *Runtime) inject(m rt.Message) {
 
 // After implements rt.Runtime: fn runs at process p after d ticks of wall
 // time, as one of p's steps. Timers at non-local or crashed processes are
-// dropped.
+// dropped, and a timer scheduled by one incarnation never fires into a later
+// one: the incarnation counter is captured at scheduling time and checked at
+// fire time, so a crash permanently retires every timer armed before it.
 func (r *Runtime) After(p rt.ProcID, d rt.Time, fn func()) {
 	pr := r.procs[p]
 	if !pr.local {
@@ -325,8 +350,9 @@ func (r *Runtime) After(p rt.ProcID, d rt.Time, fn func()) {
 	if d < 1 {
 		d = 1
 	}
+	gen := pr.gen.Load()
 	time.AfterFunc(time.Duration(d)*r.tick, func() {
-		if r.stopped.Load() || pr.crashed.Load() {
+		if r.stopped.Load() || pr.crashed.Load() || pr.gen.Load() != gen {
 			return
 		}
 		r.enqueue(pr, fn)
@@ -354,6 +380,8 @@ func (r *Runtime) Crash(p rt.ProcID) {
 	if pr.crashed.Swap(true) {
 		return
 	}
+	// Retire every timer of the dead incarnation; Restart starts a new one.
+	pr.gen.Add(1)
 	r.Emit(rt.Record{P: p, Kind: "crash", Peer: -1})
 	wake(pr)
 	// Guards elsewhere may consult Crashed (schedule-fed oracles): give
@@ -363,6 +391,59 @@ func (r *Runtime) Crash(p rt.ProcID) {
 			wake(other)
 		}
 	}
+}
+
+// Restart revives an administratively crashed process: the dead
+// incarnation's mailbox is discarded (its timers already died with the
+// generation bump in Crash), a "recover" trace record is emitted, reboot —
+// typically a closure resetting the process's protocol modules to fresh
+// state, e.g. forks.Table.Reset plus detector.Heartbeat.Reset — runs as the
+// first step of the new incarnation, and a fresh loop goroutine is spawned.
+// Handlers and actions registered before Start stay registered: a restart
+// reuses the wiring but not the state.
+//
+// Restart returns false (and does nothing) if p is not hosted here, is not
+// crashed, or the runtime is stopped or not yet started.
+//
+// Semantics note: the runtime drops messages addressed to a crashed process,
+// but a fault-injecting bus may still hold pre-crash messages in a delay
+// queue. Protocol-level resynchronization (the forks sync handshake) is
+// correct provided the crash→restart gap exceeds the bus's maximum delay, so
+// the old incarnation's traffic has drained before the new one rejoins —
+// the live analogue of the simulator's bounded-reorder axiom.
+func (r *Runtime) Restart(p rt.ProcID, reboot func()) bool {
+	pr := r.procs[p]
+	if !pr.local || !r.started.Load() || r.stopped.Load() || !pr.crashed.Load() {
+		return false
+	}
+	// The old loop exits promptly after Crash (it rechecks crashed between
+	// jobs); wait so two incarnations never consume one mailbox.
+	<-pr.loopDone
+	pr.mu.Lock()
+	pr.queue = nil
+	pr.mu.Unlock()
+	pr.nextStep = time.Time{}
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
+	if r.stopped.Load() {
+		return false
+	}
+	// Enqueue reboot before clearing the crashed flag: deliveries are dropped
+	// while crashed, so reboot is guaranteed to be the new incarnation's first
+	// job — no message ever reaches the stale pre-reset protocol state.
+	if reboot != nil {
+		r.enqueue(pr, reboot)
+	}
+	pr.crashed.Store(false)
+	r.Emit(rt.Record{P: p, Kind: "recover", Peer: -1})
+	r.spawn(pr)
+	// Oracles and guards may consult Crashed: let everyone re-examine.
+	for _, other := range r.procs {
+		if other.local && !other.crashed.Load() {
+			wake(other)
+		}
+	}
+	return true
 }
 
 // Emit implements rt.Runtime. Records are stamped and forwarded to the

@@ -1,0 +1,212 @@
+package lockproto
+
+import "sync"
+
+// This file is the server-side session registry that makes the protocol
+// safe to replay: clients reconnect after connection resets and re-send the
+// requests of their current session (same Diner and ID), so every request
+// must be idempotent. The registry is deterministic — no clocks, no
+// goroutines; callers stamp every mutating call with their own notion of
+// `now` (server ticks) — which is what makes it directly fuzzable.
+
+// Key identifies one session across connections.
+type Key struct {
+	Diner int
+	ID    string
+}
+
+// AcquireResult classifies an acquire request against the registry.
+type AcquireResult int
+
+const (
+	// AcquireNew: first sighting; the caller must schedule the session.
+	AcquireNew AcquireResult = iota
+	// AcquirePending: replay of an acquire still waiting for its grant; the
+	// caller re-attaches the connection and waits.
+	AcquirePending
+	// AcquireGranted: replay of an acquire whose grant was already issued
+	// (the original notification may have been lost with the connection);
+	// the caller re-sends the grant event, but the critical section is NOT
+	// re-entered — this is the no-double-grant guarantee.
+	AcquireGranted
+	// AcquireDone: replay of a session that already completed or expired;
+	// it must not be resurrected.
+	AcquireDone
+)
+
+// ReleaseResult classifies a release request.
+type ReleaseResult int
+
+const (
+	// ReleaseGranted: the session held the critical section; the caller
+	// must free it.
+	ReleaseGranted ReleaseResult = iota
+	// ReleasePending: released before the grant arrived; the caller must
+	// unwind the queued work without ever handing out the section.
+	ReleasePending
+	// ReleaseDone: replay of a completed release; re-acknowledge only.
+	ReleaseDone
+	// ReleaseUnknown: never-seen session.
+	ReleaseUnknown
+)
+
+type sessionStatus int
+
+const (
+	statusPending sessionStatus = iota
+	statusGranted
+	statusDone
+)
+
+type sessionRec struct {
+	status   sessionStatus
+	attached int   // live connection bindings; only 0 lets the lease run
+	lastSeen int64 // lease clock: last registry touch
+}
+
+// Sessions tracks every session of one server run, keyed (diner, id).
+// Completed sessions leave tombstones, so a frame replayed arbitrarily late
+// can never re-grant. Detached sessions (their connection died) expire after
+// the lease; attached ones never do. Connection bindings are *counted*
+// (Attach/Detach), not flagged: a reconnecting client's new binding and the
+// old connection's teardown race in either order, and only a commutative
+// count guarantees the session stays pinned while at least one connection
+// holds it. Safe for concurrent use.
+type Sessions struct {
+	lease int64 // ticks a detached session survives; 0 = forever
+
+	mu   sync.Mutex
+	recs map[Key]*sessionRec
+}
+
+// NewSessions returns a registry whose detached sessions expire after lease
+// ticks (0: never).
+func NewSessions(lease int64) *Sessions {
+	return &Sessions{lease: lease, recs: make(map[Key]*sessionRec)}
+}
+
+// Acquire classifies (and, if new, registers) an acquire request. Any
+// non-done sighting refreshes the lease clock; binding the connection is the
+// caller's separate, explicitly paired Attach.
+func (s *Sessions) Acquire(k Key, now int64) AcquireResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[k]
+	if !ok {
+		s.recs[k] = &sessionRec{status: statusPending, lastSeen: now}
+		return AcquireNew
+	}
+	switch rec.status {
+	case statusPending:
+		rec.lastSeen = now
+		return AcquirePending
+	case statusGranted:
+		rec.lastSeen = now
+		return AcquireGranted
+	default:
+		return AcquireDone
+	}
+}
+
+// Abort removes a session registered by AcquireNew that could not be
+// scheduled after all (e.g. the diner's queue was full), so the client may
+// retry the same id later.
+func (s *Sessions) Abort(k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.recs[k]; ok && rec.status == statusPending {
+		delete(s.recs, k)
+	}
+}
+
+// Grant moves a pending session into the critical section. It returns false
+// if the session is no longer pending — released or expired while queued —
+// in which case the caller must hand the section straight back. Grant can
+// return true at most once per key, ever.
+func (s *Sessions) Grant(k Key, now int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[k]
+	if !ok || rec.status != statusPending {
+		return false
+	}
+	rec.status = statusGranted
+	rec.lastSeen = now
+	return true
+}
+
+// Release completes a session (idempotently: replays get ReleaseDone).
+func (s *Sessions) Release(k Key, now int64) ReleaseResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[k]
+	if !ok {
+		return ReleaseUnknown
+	}
+	switch rec.status {
+	case statusGranted:
+		rec.status = statusDone
+		rec.lastSeen = now
+		return ReleaseGranted
+	case statusPending:
+		rec.status = statusDone
+		rec.lastSeen = now
+		return ReleasePending
+	default:
+		return ReleaseDone
+	}
+}
+
+// Attach binds one more live connection to the session; a session with at
+// least one binding never expires. Every Attach must eventually be paired
+// with exactly one Detach. No-op on done sessions.
+func (s *Sessions) Attach(k Key, now int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.recs[k]; ok && rec.status != statusDone {
+		rec.attached++
+		rec.lastSeen = now
+	}
+}
+
+// Detach releases one connection binding; when the last one goes, the lease
+// clock starts (or restarts) at now. Unpaired calls clamp at zero rather
+// than corrupt the count.
+func (s *Sessions) Detach(k Key, now int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.recs[k]; ok && rec.status != statusDone {
+		if rec.attached > 0 {
+			rec.attached--
+		}
+		rec.lastSeen = now
+	}
+}
+
+// Expiry is one session reclaimed by Expire.
+type Expiry struct {
+	Key        Key
+	WasGranted bool // it held the critical section; the caller must free it
+}
+
+// Expire marks every detached, non-done session idle for longer than the
+// lease as done and returns them. A session is never returned twice, and an
+// expired session behaves exactly like a released one afterwards: replayed
+// acquires get AcquireDone, replayed releases get ReleaseDone.
+func (s *Sessions) Expire(now int64) []Expiry {
+	if s.lease <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Expiry
+	for k, rec := range s.recs {
+		if rec.status == statusDone || rec.attached > 0 || now-rec.lastSeen <= s.lease {
+			continue
+		}
+		out = append(out, Expiry{Key: k, WasGranted: rec.status == statusGranted})
+		rec.status = statusDone
+		rec.lastSeen = now
+	}
+	return out
+}

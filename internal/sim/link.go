@@ -176,11 +176,12 @@ func (lp LinkPlan) String() string {
 	return name + "{" + strings.Join(parts, ",") + "}"
 }
 
-// dropProb returns the effective drop probability for a message on link
+// DropProb returns the effective drop probability for a message on link
 // from->to at the given time: the first matching per-link override (else the
 // baseline), plus any active lossy window, saturating below 1 only for the
-// steady-state part (windows may reach 1).
-func (lp *LinkPlan) dropProb(from, to ProcID, now Time) float64 {
+// steady-state part (windows may reach 1). Exported so livechaos can apply
+// the exact same plan semantics to wall-clock buses.
+func (lp *LinkPlan) DropProb(from, to ProcID, now Time) float64 {
 	p := lp.Drop
 	for _, f := range lp.Links {
 		if f.matches(from, to) {
@@ -199,8 +200,8 @@ func (lp *LinkPlan) dropProb(from, to ProcID, now Time) float64 {
 	return p
 }
 
-// dupProb returns the duplication probability for link from->to.
-func (lp *LinkPlan) dupProb(from, to ProcID) float64 {
+// DupProb returns the duplication probability for link from->to.
+func (lp *LinkPlan) DupProb(from, to ProcID) float64 {
 	for _, f := range lp.Links {
 		if f.matches(from, to) {
 			return f.Dup
@@ -226,7 +227,7 @@ func (k *Kernel) linkArrive(m Message) {
 		k.deliver(m)
 		return
 	}
-	if p := lp.dropProb(m.From, m.To, k.now); p > 0 && k.rng.Float64() < p {
+	if p := lp.DropProb(m.From, m.To, k.now); p > 0 && k.rng.Float64() < p {
 		k.inFlight--
 		k.counters["link.dropped"]++
 		k.counters["msg.dropped"]++
@@ -234,7 +235,7 @@ func (k *Kernel) linkArrive(m Message) {
 		k.Emit(Record{P: m.To, Kind: KindLink, Peer: m.From, Inst: portPrefix(m.Port), Note: "drop"})
 		return
 	}
-	if p := lp.dupProb(m.From, m.To); p > 0 && k.rng.Float64() < p {
+	if p := lp.DupProb(m.From, m.To); p > 0 && k.rng.Float64() < p {
 		// The duplicate is a second, independent delivery of the same wire
 		// message a little later; it is not duplicated again.
 		k.counters["link.duped"]++

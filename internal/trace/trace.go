@@ -20,6 +20,7 @@ const (
 	KindSuspect = "suspect" // oracle output change: Inst=oracle, Peer=target
 	KindTrust   = "trust"   // oracle output change: Inst=oracle, Peer=target
 	KindCrash   = "crash"   // process crash (emitted by the kernel)
+	KindRecover = "recover" // process restart after a crash (live runtime)
 	KindMark    = "mark"    // free-form module annotations
 )
 
@@ -82,7 +83,11 @@ func (l *Log) Hash() uint64 {
 	return h.Sum64()
 }
 
-// CrashTimes returns the crash time of every process that crashed.
+// CrashTimes returns the first crash time of every process that ever
+// crashed, whether or not it later recovered. Liveness checkers use this to
+// exempt ever-crashed processes from progress obligations (conservative
+// under recovery); safety checkers needing the full down-time structure use
+// DeadIntervals instead.
 func (l *Log) CrashTimes() map[sim.ProcID]sim.Time {
 	out := make(map[sim.ProcID]sim.Time)
 	for _, r := range l.Records {
@@ -91,6 +96,31 @@ func (l *Log) CrashTimes() map[sim.ProcID]sim.Time {
 				out[r.P] = r.T
 			}
 		}
+	}
+	return out
+}
+
+// DeadIntervals returns, per process, its down-time eras: each [crash,
+// recover) pair becomes a closed interval, and a crash never followed by a
+// recover yields an open interval (End == sim.Never).
+func (l *Log) DeadIntervals() map[sim.ProcID][]Interval {
+	open := make(map[sim.ProcID]sim.Time)
+	out := make(map[sim.ProcID][]Interval)
+	for _, r := range l.Records {
+		switch r.Kind {
+		case KindCrash:
+			if _, isOpen := open[r.P]; !isOpen {
+				open[r.P] = r.T
+			}
+		case KindRecover:
+			if s, isOpen := open[r.P]; isOpen {
+				delete(open, r.P)
+				out[r.P] = append(out[r.P], Interval{Start: s, End: r.T})
+			}
+		}
+	}
+	for p, s := range open {
+		out[p] = append(out[p], Interval{Start: s, End: sim.Never})
 	}
 	return out
 }
@@ -124,11 +154,23 @@ type SessionKey struct {
 }
 
 // Sessions extracts, for every (table instance, diner), its intervals in the
-// given dining state (e.g. "eating" or "hungry"), in start-time order.
+// given dining state (e.g. "eating" or "hungry"), in start-time order. A
+// crash ends every open session of the crashed process: the dead incarnation
+// is no longer in any dining phase, and a restarted one re-announces its
+// state from scratch.
 func (l *Log) Sessions(state string) map[SessionKey][]Interval {
 	open := make(map[SessionKey]sim.Time)
 	out := make(map[SessionKey][]Interval)
 	for _, r := range l.Records {
+		if r.Kind == KindCrash {
+			for k, s := range open {
+				if k.P == r.P {
+					delete(open, k)
+					out[k] = append(out[k], Interval{Start: s, End: r.T})
+				}
+			}
+			continue
+		}
 		if r.Kind != KindState {
 			continue
 		}

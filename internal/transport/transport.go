@@ -85,10 +85,10 @@ type flight struct {
 
 // sender is the outbound state for one ordered pair (from -> to).
 type sender struct {
-	next    int64              // last assigned sequence number
-	unacked map[int64]*flight  // in flight, keyed by sequence number
+	next    int64             // last assigned sequence number
+	unacked map[int64]*flight // in flight, keyed by sequence number
 	rto     rt.Time           // current backoff
-	armed   bool               // retransmission timer pending
+	armed   bool              // retransmission timer pending
 }
 
 // receiver is the inbound state for one ordered pair (from -> to).
@@ -249,6 +249,35 @@ func (t *Reliable) onAck(p rt.ProcID, m rt.Message) {
 		}
 	}
 	if len(s.unacked) < before {
+		s.rto = t.cfg.RTO
+	}
+}
+
+// Reset reinstalls p's outbound transport state after a crash-restart. Call
+// it from the reboot hook of a live-runtime Restart, before any protocol
+// module's reset (their resync messages must go out through a working
+// sender), on p's own goroutine.
+//
+// Two things need repair. The dead incarnation's unacked windows are
+// discarded: those messages are volatile state that died with the process,
+// and replaying them could contradict the state its protocol modules rebuild
+// on restart (a pre-crash fork transfer re-sent after the forks resync has
+// minted a replacement would put two forks on one edge). And the armed flags
+// are cleared: the crash killed the pending retransmission timers (timers of
+// a dead incarnation never fire into the next one), so a stale armed=true
+// would suppress re-arming forever — every first copy lost after the restart
+// would then be lost for good. Sequence counters are deliberately kept, as
+// the receiver watermarks at the peers survive the crash; restarting them at
+// zero would make every new envelope look like a duplicate.
+func (t *Reliable) Reset(p rt.ProcID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for key, s := range t.out {
+		if key[0] != p {
+			continue
+		}
+		s.unacked = make(map[int64]*flight)
+		s.armed = false
 		s.rto = t.cfg.RTO
 	}
 }
