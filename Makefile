@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench chaos chaos-live serve-smoke
+.PHONY: check vet build test race fuzz bench chaos chaos-live serve-smoke serve-crash
 
 check: vet build race fuzz
 
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzForksSchedules -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzLinkPlanValidate -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=^$$ -fuzz=FuzzLockprotoDedup -fuzztime=$(FUZZTIME) ./internal/lockproto
+	$(GO) test -run=^$$ -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Performance trajectory: run the substrate micro-benchmarks and the E*
 # experiment benches, and convert each set to a JSON artifact via
@@ -69,3 +70,15 @@ serve-smoke:
 	$(GO) build -o bin/dineserve ./cmd/dineserve
 	$(GO) build -o bin/dineload ./cmd/dineload
 	bash scripts/serve_smoke.sh
+
+# Crash-recovery acceptance: the in-process whole-table blackout campaign,
+# then dineserve with a WAL kill -9'd mid-load and restarted from its data
+# directory (clients must see zero errors and zero double grants, the
+# ledger must verify), then a torn-WAL-tail boot. CLIENTS/DURATION are
+# overridable.
+serve-crash:
+	$(GO) build -o bin/chaos ./cmd/chaos
+	$(GO) build -o bin/dineserve ./cmd/dineserve
+	$(GO) build -o bin/dineload ./cmd/dineload
+	$(GO) build -o bin/walinspect ./cmd/walinspect
+	bash scripts/serve_crash.sh

@@ -63,9 +63,10 @@ func main() {
 		expected = flag.Bool("expect-caught", false, "fail if the buggy box is swept but never caught")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for campaign runs (1 = sequential); the report is identical either way")
 
-		liveMode = flag.Bool("live", false, "run the campaign against live tables (goroutines, wall clock, fault-injecting bus) instead of the simulator")
-		liveDur  = flag.Duration("live-duration", 6*time.Second, "wall-clock length of each live run")
-		livePlan = flag.String("liveplan", "", "JSON file with the link shape for -live runs (chaos.LinkSpec; same JSON drives the TCP proxy); empty = built-in drops+partition schedule")
+		liveMode  = flag.Bool("live", false, "run the campaign against live tables (goroutines, wall clock, fault-injecting bus) instead of the simulator")
+		liveDur   = flag.Duration("live-duration", 6*time.Second, "wall-clock length of each live run")
+		livePlan  = flag.String("liveplan", "", "JSON file with the link shape for -live runs (chaos.LinkSpec; same JSON drives the TCP proxy); empty = built-in drops+partition schedule")
+		liveBlack = flag.String("live-blackout", "", "replace the per-process crash with a whole-system blackout, as \"at+gap\" durations (e.g. 1500ms+500ms): crash every process at once, restart the full table together")
 
 		loss      = flag.Float64("loss", 0, "per-message drop probability on every link, [0, 1)")
 		dup       = flag.Float64("dup", 0, "per-message duplication probability, [0, 1]")
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	if *liveMode {
-		os.Exit(liveCampaign(split(*topos), int64List(*seeds), split(*sizes), *liveDur, *livePlan))
+		os.Exit(liveCampaign(split(*topos), int64List(*seeds), split(*sizes), *liveDur, *livePlan, *liveBlack))
 	}
 
 	c := chaos.Campaign{
@@ -186,7 +187,15 @@ func main() {
 // crash/restart — against a real table over the fault-injecting bus, judged
 // by the shared checkers. SIGINT follows the same convention as simulator
 // campaigns: the partial report is flushed and the exit status is 130.
-func liveCampaign(topos []string, seeds []int64, sizes []string, dur time.Duration, planFile string) int {
+func liveCampaign(topos []string, seeds []int64, sizes []string, dur time.Duration, planFile, blackoutSpec string) int {
+	var blackout *chaos.LiveBlackout
+	if blackoutSpec != "" {
+		var err error
+		if blackout, err = parseBlackout(blackoutSpec); err != nil {
+			errorf(err)
+			return 2
+		}
+	}
 	var links *chaos.LinkSpec
 	if planFile != "" {
 		raw, err := os.ReadFile(planFile)
@@ -216,6 +225,10 @@ func liveCampaign(topos []string, seeds []int64, sizes []string, dur time.Durati
 					Crashes: []chaos.LiveCrash{
 						{P: sim.ProcID(n / 2), At: dur / 4, RestartAfter: dur / 12},
 					},
+				}
+				if blackout != nil {
+					spec.Crashes = nil
+					spec.Blackout = blackout
 				}
 				if links == nil {
 					// The built-in schedule: background drops plus one
@@ -313,4 +326,21 @@ func int64List(s string) []int64 {
 		out = append(out, v)
 	}
 	return out
+}
+
+// parseBlackout parses the -live-blackout "at+gap" shape, e.g. "1500ms+500ms".
+func parseBlackout(s string) (*chaos.LiveBlackout, error) {
+	at, gap, ok := strings.Cut(s, "+")
+	if !ok {
+		return nil, fmt.Errorf("chaos: -live-blackout %q is not \"at+gap\" (e.g. 1500ms+500ms)", s)
+	}
+	atD, err := time.ParseDuration(at)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad -live-blackout at %q: %w", at, err)
+	}
+	gapD, err := time.ParseDuration(gap)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad -live-blackout gap %q: %w", gap, err)
+	}
+	return &chaos.LiveBlackout{At: atD, RestartAfter: gapD}, nil
 }

@@ -67,18 +67,19 @@ func main() {
 	close(watchDone)
 
 	var lats []time.Duration
-	sessions, errs, reconns, abandoned := 0, 0, 0, 0
+	sessions, errs, reconns, abandoned, dblGrants := 0, 0, 0, 0, 0
 	for _, res := range results {
 		sessions += res.sessions
 		errs += res.errors
 		reconns += res.reconnects
 		abandoned += res.abandoned
+		dblGrants += res.doubleGrants
 		lats = append(lats, res.latencies...)
 	}
 	elapsed := *duration
 	fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
-	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d, reconnects: %d, abandoned: %d\n",
-		sessions, float64(sessions)/elapsed.Seconds(), errs, reconns, abandoned)
+	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d, reconnects: %d, abandoned: %d, double-grants: %d\n",
+		sessions, float64(sessions)/elapsed.Seconds(), errs, reconns, abandoned, dblGrants)
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		fmt.Printf("dineload: acquire latency p50=%v p95=%v p99=%v max=%v\n",
@@ -153,7 +154,12 @@ type clientResult struct {
 	errors     int
 	reconnects int
 	abandoned  int // sessions lost to lease expiry while disconnected
-	latencies  []time.Duration
+	// doubleGrants counts EvGranted events for a session this client had
+	// already finished — the client-visible form of a broken
+	// no-double-grant guarantee (e.g. a server that forgot a release across
+	// a crash). Always a protocol error.
+	doubleGrants int
+	latencies    []time.Duration
 }
 
 // exchange outcomes.
@@ -179,6 +185,10 @@ type client struct {
 	enc  *json.Encoder
 	dec  *json.Decoder
 	res  clientResult
+	// done holds every session id this client has finished with (released,
+	// or reclaimed by the server). A grant arriving for one of them can only
+	// mean the server re-entered a dead session's critical section.
+	done map[string]bool
 }
 
 // reconnect (re)establishes the connection, backing off 50ms→2s between
@@ -230,6 +240,10 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 				}
 				break // replay
 			}
+			if ev.Ev == lockproto.EvGranted && cl.done[ev.ID] {
+				cl.res.doubleGrants++
+				cl.res.errors++
+			}
 			if ev.Ev == lockproto.EvError && ev.ID == req.ID {
 				switch ev.Msg {
 				case "draining":
@@ -260,7 +274,7 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 // runClient loops acquire → hold → release until the deadline, surviving
 // connection resets: a single dial or read error no longer ends the client.
 func runClient(prefix string, id int, addr string, diners int, deadline time.Time, hold, opTO time.Duration) clientResult {
-	cl := &client{addr: addr, deadline: deadline, opTO: opTO}
+	cl := &client{addr: addr, deadline: deadline, opTO: opTO, done: make(map[string]bool)}
 	defer func() {
 		if cl.conn != nil {
 			cl.conn.Close()
@@ -276,11 +290,14 @@ func runClient(prefix string, id int, addr string, diners int, deadline time.Tim
 		case xStop:
 			return cl.res
 		case xAbandon:
+			cl.done[sid] = true // server reclaimed it: any later grant is bogus
 			continue
 		}
 		cl.res.latencies = append(cl.res.latencies, time.Since(start))
 		time.Sleep(hold)
-		switch cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}, lockproto.EvReleased) {
+		rel := cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}, lockproto.EvReleased)
+		cl.done[sid] = true
+		switch rel {
 		case xStop:
 			return cl.res
 		case xAbandon:

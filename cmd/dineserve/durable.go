@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lockproto"
+	"repro/internal/rt"
+	"repro/internal/wal"
+)
+
+// durable is the bridge between the in-memory service and the WAL: the
+// session registry's journal hook, the fork table's ownership observer, and
+// the janitor's snapshot trigger all land here. A nil *durable is the
+// non-persistent server; every method tolerates it, so call sites need no
+// guards.
+//
+// A WAL write error is fatal by design: a server that kept granting after
+// losing its log would silently drop the very guarantees -data-dir was
+// asked to provide.
+type durable struct {
+	store    *wal.Store
+	sessions *lockproto.Sessions
+	// snapEvery bounds replay work: once this many records accumulate, the
+	// next janitor pass cuts a snapshot and prunes old segments.
+	snapEvery int64
+	recsSince atomic.Int64
+
+	mu    sync.Mutex
+	forks map[[2]int]bool // directed (p,q) -> p's hold bit for edge {p,q}
+	// clock is the server-tick watermark snapshots are stamped with; the
+	// janitor refreshes it each pass so a recovered clock never runs
+	// backwards past a snapshot cut.
+	clock int64
+}
+
+func newDurable(store *wal.Store, sessions *lockproto.Sessions, snapEvery int64) *durable {
+	return &durable{
+		store:     store,
+		sessions:  sessions,
+		snapEvery: snapEvery,
+		forks:     make(map[[2]int]bool),
+	}
+}
+
+func (d *durable) fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dineserve: wal: %v\n", err)
+	os.Exit(1)
+}
+
+// append journals one record (buffered; durability comes from barrier or
+// the store's fsync policy).
+func (d *durable) append(rec lockproto.Rec) {
+	if d == nil {
+		return
+	}
+	if _, err := d.store.Append(rec.Encode()); err != nil {
+		d.fatal(err)
+	}
+	d.recsSince.Add(1)
+}
+
+// journal is the Sessions journal hook; it runs under the registry lock, so
+// WAL order is registry apply order.
+func (d *durable) journal(rec lockproto.Rec) { d.append(rec) }
+
+// barrier blocks until everything appended so far is durable (or written,
+// under the weaker fsync policies). The grant and release paths call it
+// before acknowledging the client, so an acknowledged transition is never
+// lost to a crash.
+func (d *durable) barrier() {
+	if d == nil {
+		return
+	}
+	if err := d.store.Sync(d.store.Appended()); err != nil {
+		d.fatal(err)
+	}
+}
+
+// onFork is the forks.Config observer: mirror the hold bit and journal the
+// move. Runs on protocol goroutines.
+func (d *durable) onFork(p, q rt.ProcID, hold bool) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.forks[[2]int{int(p), int(q)}] = hold
+	d.mu.Unlock()
+	d.append(lockproto.Rec{K: lockproto.RecFork, P: int(p), Q: int(q), H: hold})
+}
+
+// tick journals the clock watermark and cuts a snapshot if enough records
+// accumulated. Called from the janitor, once per pass.
+func (d *durable) tick(now int64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.clock = now
+	d.mu.Unlock()
+	d.append(lockproto.Rec{K: lockproto.RecTick, T: now})
+	if d.recsSince.Load() < d.snapEvery {
+		return
+	}
+	d.recsSince.Store(0)
+	if err := d.store.Snapshot(d.buildSnapshot); err != nil {
+		d.fatal(err)
+	}
+}
+
+// buildSnapshot serializes the full service state. The wal package calls it
+// after rotating, so records already in the new segment may be re-described
+// here — lockproto.Replay is idempotent against exactly that overlap.
+func (d *durable) buildSnapshot() []byte {
+	d.mu.Lock()
+	st := lockproto.State{Watermark: d.clock}
+	for pq, hold := range d.forks {
+		st.Forks = append(st.Forks, lockproto.ForkState{P: pq[0], Q: pq[1], Hold: hold})
+	}
+	d.mu.Unlock()
+	st.Sessions = d.sessions.SnapshotState()
+	return st.Encode()
+}
+
+// close flushes and closes the store at the end of a drain.
+func (d *durable) close() {
+	if d == nil {
+		return
+	}
+	if err := d.store.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dineserve: wal close: %v\n", err)
+	}
+}

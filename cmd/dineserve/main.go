@@ -27,8 +27,10 @@ import (
 	"repro/internal/dining/forks"
 	"repro/internal/graph"
 	"repro/internal/live"
+	"repro/internal/lockproto"
 	"repro/internal/rt"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -42,6 +44,11 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "how long SIGINT waits for in-flight sessions")
 		lease     = flag.Duration("lease", 30*time.Second, "how long a disconnected client's session survives before forced release (0: forever)")
 		maxInFl   = flag.Int64("max-inflight", 4096, "max concurrent sessions before new acquires are shed with \"overloaded\" (0: unlimited)")
+
+		dataDir    = flag.String("data-dir", "", "WAL+snapshot directory; empty disables persistence")
+		fsync      = flag.String("fsync", "always", "WAL durability: always (fsync per commit), interval, or never")
+		fsyncEvery = flag.Duration("fsync-interval", 50*time.Millisecond, "background fsync cadence under -fsync interval")
+		snapRecs   = flag.Int64("snap-records", 4096, "cut a snapshot after this many WAL records")
 
 		chaosCrash   = flag.Int("chaos-crash", -1, "diner to crash and restart once (chaos injection; -1: none)")
 		chaosCrashAt = flag.Duration("chaos-crash-at", 2*time.Second, "when after startup the chaos crash fires")
@@ -64,6 +71,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	leaseTicks := int64(0)
+	if *lease > 0 {
+		leaseTicks = int64(*lease / *tick)
+	}
+
+	// Recovery happens before anything else exists: the WAL decides the
+	// session registry, the fork seeding, and the clock base the rest of the
+	// boot builds on.
+	sessions := lockproto.NewSessions(leaseTicks)
+	var dur *durable
+	var recovered *lockproto.Recovered
+	clockBase := int64(0)
+	if *dataDir != "" {
+		pol, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dineserve: %v\n", err)
+			os.Exit(2)
+		}
+		store, walRec, err := wal.Open(*dataDir, wal.Options{Policy: pol, Interval: *fsyncEvery})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dineserve: wal: %v\n", err)
+			os.Exit(1)
+		}
+		recovered, err = lockproto.Replay(leaseTicks, walRec.Snapshot, walRec.Records)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dineserve: wal replay: %v\n", err)
+			os.Exit(1)
+		}
+		if len(recovered.Violations) > 0 {
+			// The ledger proves the pre-crash run broke safety; refusing to
+			// serve from it beats laundering the violation into a new run.
+			for _, v := range recovered.Violations {
+				fmt.Fprintf(os.Stderr, "dineserve: ledger violation: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		sessions = recovered.Sessions
+		clockBase = recovered.Watermark
+		sessions.ResetBindings(clockBase)
+		nGranted := 0
+		for _, rs := range recovered.Live {
+			if rs.Granted {
+				nGranted++
+			}
+		}
+		fmt.Printf("dineserve: recovered %d live sessions (%d granted), %d fork edges, watermark t=%d, torn tail %d bytes\n",
+			len(recovered.Live), nGranted, len(recovered.Forks), clockBase, walRec.TornBytes)
+		dur = newDurable(store, sessions, *snapRecs)
+		sessions.SetJournal(dur.journal)
+	}
+
 	log := &trace.Log{}
 	feed := newSuspectFeed(extInst)
 	r := live.New(live.Config{
@@ -75,7 +133,26 @@ func main() {
 		Interval: 20, Check: 10,
 		Timeout: rt.Time(*hbTimeout), Bump: rt.Time(*hbTimeout) / 2,
 	})
-	tbl := forks.New(r, g, tableInst, hb, forks.Config{})
+	tableCfg := forks.Config{}
+	if dur != nil {
+		tableCfg.OnFork = dur.onFork
+		if recovered != nil && len(recovered.Forks) > 0 {
+			forkSeed := recovered.Forks
+			tableCfg.Seed = func(p, q rt.ProcID) bool {
+				e := lockproto.Edge{P: int(p), Q: int(q)}
+				lower := true
+				if e.P > e.Q {
+					e.P, e.Q, lower = e.Q, e.P, false
+				}
+				lowerHolds, ok := forkSeed[e]
+				if !ok {
+					return p < q // edge never journaled: default placement
+				}
+				return lowerHolds == lower
+			}
+		}
+	}
+	tbl := forks.New(r, g, tableInst, hb, tableCfg)
 	if *chaosCrash >= 0 && *extract {
 		// The extraction boxes simulate every diner inside each real process;
 		// they have no restart story, so a chaos run would freeze the box of
@@ -91,11 +168,13 @@ func main() {
 		core.NewExtractor(r, procs, forks.Factory(hb, forks.Config{}), extInst)
 	}
 
-	leaseTicks := int64(0)
-	if *lease > 0 {
-		leaseTicks = int64(*lease / *tick)
+	srv := newServer(r, tbl, feed, sessions, *maxInFl, dur, clockBase)
+	if recovered != nil && len(recovered.Live) > 0 {
+		// Re-queue the crash's in-flight sessions before the listener opens:
+		// granted ones re-enter the dining layer, pending ones line up again,
+		// and reconnecting clients find everything where they left it.
+		srv.resume(recovered.Live)
 	}
-	srv := newServer(r, tbl, feed, leaseTicks, *maxInFl)
 	r.Start()
 	ln, err := srv.listen(*addr)
 	if err != nil {
@@ -129,8 +208,9 @@ func main() {
 
 	end := r.Now()
 	r.Stop()
-	fmt.Printf("dineserve: granted=%d released=%d expired=%d shed=%d steps=%d msgs=%d\n",
-		srv.granted.Load(), srv.released.Load(), srv.expired.Load(), srv.shed.Load(),
+	dur.close()
+	fmt.Printf("dineserve: granted=%d regranted=%d released=%d expired=%d shed=%d steps=%d msgs=%d\n",
+		srv.granted.Load(), srv.regranted.Load(), srv.released.Load(), srv.expired.Load(), srv.shed.Load(),
 		r.Counter("steps"), r.Counter("msg.delivered"))
 
 	// The service's whole life is the run; require exclusion mistakes to

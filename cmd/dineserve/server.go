@@ -36,6 +36,11 @@ type server struct {
 	feed     *suspectFeed
 	mgrs     []*dinerMgr
 	sessions *lockproto.Sessions
+	dur      *durable // nil: no persistence
+	// clockBase offsets the runtime's tick clock so server time resumes
+	// from the recovered watermark instead of restarting at zero — the
+	// lease arithmetic (lastSeen vs now) only works if time never rewinds.
+	clockBase int64
 	// maxInflight bounds accepted-but-unfinished sessions; beyond it new
 	// acquires are shed with "overloaded" (graceful degradation instead of
 	// unbounded queue growth). 0 = unlimited.
@@ -51,18 +56,22 @@ type server struct {
 	sesMu sync.Mutex
 	byKey map[lockproto.Key]*session
 
-	inFlight atomic.Int64 // sessions accepted but not yet finished
-	granted  atomic.Int64
-	released atomic.Int64
-	expired  atomic.Int64 // sessions reclaimed by the lease janitor
-	shed     atomic.Int64 // acquires refused with "overloaded"
+	inFlight  atomic.Int64 // sessions accepted but not yet finished
+	granted   atomic.Int64
+	regranted atomic.Int64 // recovered grants re-entered after a restart
+	released  atomic.Int64
+	expired   atomic.Int64 // sessions reclaimed by the lease janitor
+	shed      atomic.Int64 // acquires refused with "overloaded"
 }
 
-func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, leaseTicks int64, maxInflight int64) *server {
+func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, sessions *lockproto.Sessions,
+	maxInflight int64, dur *durable, clockBase int64) *server {
 	s := &server{
 		r:           r,
 		feed:        feed,
-		sessions:    lockproto.NewSessions(leaseTicks),
+		sessions:    sessions,
+		dur:         dur,
+		clockBase:   clockBase,
 		maxInflight: maxInflight,
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
@@ -92,6 +101,40 @@ func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, leaseTicks 
 		s.mgrs = append(s.mgrs, m)
 	}
 	return s
+}
+
+// now is the server clock: runtime ticks offset by the recovered watermark.
+func (s *server) now() int64 { return s.clockBase + int64(s.r.Now()) }
+
+// resume re-enqueues the sessions a crash left in flight, in their original
+// acquire order. Granted ones carry the regrant flag: they already own the
+// critical section in the registry, so their manager re-wins the dining
+// layer's grant without a second registry transition (and without a second
+// grant journal record). Must run before the listener accepts traffic, so a
+// reconnecting client always finds its session already queued.
+func (s *server) resume(live []lockproto.RecoveredSession) int {
+	granted := 0
+	for _, rs := range live {
+		ses := newSession(rs.Key)
+		ses.regrant = rs.Granted
+		if rs.Granted {
+			granted++
+		}
+		s.sesMu.Lock()
+		s.byKey[rs.Key] = ses
+		s.sesMu.Unlock()
+		s.inFlight.Add(1)
+		select {
+		case s.mgrs[rs.Key.Diner].queue <- ses:
+		default:
+			// A queue this full can only come from a corrupt ledger; shed
+			// the session rather than wedge the boot.
+			s.inFlight.Add(-1)
+			s.dropSession(rs.Key)
+			s.sessions.Abort(rs.Key)
+		}
+	}
+	return granted
 }
 
 func pulse(ch chan struct{}) {
@@ -133,7 +176,9 @@ func (s *server) janitor() {
 		case <-s.stop:
 			return
 		}
-		for _, e := range s.sessions.Expire(int64(s.r.Now())) {
+		now := s.now()
+		s.dur.tick(now)
+		for _, e := range s.sessions.Expire(now) {
 			s.expired.Add(1)
 			s.sesMu.Lock()
 			ses := s.byKey[e.Key]
@@ -208,7 +253,7 @@ func (s *server) handleConn(c net.Conn) {
 		c.Close()
 		// Detach, don't abandon: the sessions stay in flight so the client
 		// can reconnect and resume them; the lease clock starts now.
-		now := int64(s.r.Now())
+		now := s.now()
 		for k, ses := range attached {
 			ses.detach(jc)
 			s.sessions.Detach(k, now)
@@ -229,7 +274,7 @@ func (s *server) handleConn(c net.Conn) {
 		}
 		switch req.Op {
 		case lockproto.OpInfo:
-			jc.send(lockproto.Event{Ev: lockproto.EvInfo, Diners: len(s.mgrs), T: int64(s.r.Now())})
+			jc.send(lockproto.Event{Ev: lockproto.EvInfo, Diners: len(s.mgrs), T: s.now()})
 
 		case lockproto.OpAcquire:
 			if req.Diner < 0 || req.Diner >= len(s.mgrs) {
@@ -241,7 +286,7 @@ func (s *server) handleConn(c net.Conn) {
 				continue
 			}
 			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
-			now := int64(s.r.Now())
+			now := s.now()
 			switch s.sessions.Acquire(key, now) {
 			case lockproto.AcquireNew:
 				if s.maxInflight > 0 && s.inFlight.Load() >= s.maxInflight {
@@ -295,7 +340,7 @@ func (s *server) handleConn(c net.Conn) {
 
 		case lockproto.OpRelease:
 			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
-			switch s.sessions.Release(key, int64(s.r.Now())) {
+			switch s.sessions.Release(key, s.now()) {
 			case lockproto.ReleaseGranted:
 				s.sesMu.Lock()
 				ses := s.byKey[key]
@@ -305,11 +350,14 @@ func (s *server) handleConn(c net.Conn) {
 				}
 			case lockproto.ReleasePending:
 				// Released before the grant: the manager unwinds silently
-				// when the grant arrives; acknowledge the client now.
-				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: int64(s.r.Now())})
+				// when the grant arrives; acknowledge the client now (the
+				// release record first — an acked release must survive a
+				// crash).
+				s.dur.barrier()
+				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: s.now()})
 			case lockproto.ReleaseDone:
 				// Replayed release (the first ack was lost): re-acknowledge.
-				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: int64(s.r.Now())})
+				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: s.now()})
 			case lockproto.ReleaseUnknown:
 				fail(req, "unknown session")
 			}
@@ -345,7 +393,11 @@ func (s *server) handleConn(c net.Conn) {
 // dinerMgr after being enqueued. Its connection binding is mutable: the
 // client may vanish and re-attach from a new connection mid-session.
 type session struct {
-	key     lockproto.Key
+	key lockproto.Key
+	// regrant marks a session recovered from the WAL in granted state; its
+	// manager re-wins the dining-layer grant but must not re-run the
+	// registry transition. Set before enqueue, read-only afterwards.
+	regrant bool
 	release chan struct{}
 	relOnce sync.Once
 
@@ -490,7 +542,23 @@ func (m *dinerMgr) run() {
 				return
 			}
 		}
-		if !m.srv.sessions.Grant(ses.key, int64(m.srv.r.Now())) {
+		if ses.regrant {
+			// Recovered grant: the registry already shows this session in
+			// the critical section — the crash just evicted it from the
+			// dining layer, which we have now re-won. No second registry
+			// transition, no second grant journal record.
+			m.srv.regranted.Add(1)
+			select {
+			case <-ses.release:
+				// Released (or janitor-expired) while we were re-winning:
+				// fall through to the exit without re-announcing the grant,
+				// so the client never sees EvGranted after its release.
+			default:
+				ses.markGranted(lockproto.Event{
+					Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: m.srv.now(),
+				})
+			}
+		} else if !m.srv.sessions.Grant(ses.key, m.srv.now()) {
 			// Released or expired while queued: hand the section straight
 			// back without ever exposing it.
 			m.exitCS()
@@ -501,11 +569,16 @@ func (m *dinerMgr) run() {
 			m.srv.dropSession(ses.key)
 			m.srv.inFlight.Add(-1)
 			continue
+		} else {
+			// The grant record must be on disk before the client can act on
+			// the grant — an acknowledged critical section that a crash
+			// forgets would be re-granted on recovery.
+			m.srv.dur.barrier()
+			m.srv.granted.Add(1)
+			ses.markGranted(lockproto.Event{
+				Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: m.srv.now(),
+			})
 		}
-		m.srv.granted.Add(1)
-		ses.markGranted(lockproto.Event{
-			Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: int64(m.srv.r.Now()),
-		})
 		select {
 		case <-ses.release:
 		case <-m.srv.stop:
@@ -518,8 +591,12 @@ func (m *dinerMgr) run() {
 			return
 		}
 		m.srv.released.Add(1)
+		// Same durability rule as the grant: the release record must not be
+		// lost once the client has seen the ack, or recovery would resurrect
+		// a finished session.
+		m.srv.dur.barrier()
 		ses.notify(lockproto.Event{
-			Ev: lockproto.EvReleased, Diner: ses.key.Diner, ID: ses.key.ID, T: int64(m.srv.r.Now()),
+			Ev: lockproto.EvReleased, Diner: ses.key.Diner, ID: ses.key.ID, T: m.srv.now(),
 		})
 		m.srv.dropSession(ses.key)
 		m.srv.inFlight.Add(-1)

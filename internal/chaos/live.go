@@ -34,6 +34,15 @@ type LiveCrash struct {
 	RestartAfter time.Duration `json:"restart_after"`
 }
 
+// LiveBlackout is a whole-system crash: every process goes down together At
+// after the run starts and the full table restarts RestartAfter later — the
+// in-process analogue of kill -9 on a server hosting all diners, which is
+// how the serve-crash harness exercises recovery end to end.
+type LiveBlackout struct {
+	At           time.Duration `json:"at"`
+	RestartAfter time.Duration `json:"restart_after"`
+}
+
 // LiveSpec describes one live chaos run. Links reuses the declarative link
 // shape of the simulator campaigns — the identical JSON drives sim.LinkPlan,
 // livechaos.ChaosBus, and the livechaos TCP proxy.
@@ -45,6 +54,7 @@ type LiveSpec struct {
 	Duration time.Duration `json:"duration,omitempty"` // default 4s
 	Links    *LinkSpec     `json:"links,omitempty"`
 	Crashes  []LiveCrash   `json:"crashes,omitempty"`
+	Blackout *LiveBlackout `json:"blackout,omitempty"` // exclusive with Crashes
 }
 
 func (s *LiveSpec) withDefaults() LiveSpec {
@@ -95,6 +105,17 @@ func (s LiveSpec) Validate() error {
 			return fmt.Errorf("chaos: live crash of %d recovers past the run's half-point", c.P)
 		}
 	}
+	if b := sp.Blackout; b != nil {
+		if len(sp.Crashes) > 0 {
+			return fmt.Errorf("chaos: live blackout and per-process crashes are mutually exclusive")
+		}
+		if b.RestartAfter <= 0 {
+			return fmt.Errorf("chaos: live blackout needs a positive restart gap")
+		}
+		if b.At+b.RestartAfter > sp.Duration/2 {
+			return fmt.Errorf("chaos: live blackout recovers past the run's half-point")
+		}
+	}
 	return nil
 }
 
@@ -108,6 +129,9 @@ func (s LiveSpec) ID() string {
 			parts[i] = fmt.Sprintf("%d@%v+%v", c.P, c.At, c.RestartAfter)
 		}
 		crashes = strings.Join(parts, ",")
+	}
+	if sp.Blackout != nil {
+		crashes = fmt.Sprintf("blackout@%v+%v", sp.Blackout.At, sp.Blackout.RestartAfter)
 	}
 	return fmt.Sprintf("live/%s%d/seed%d/%v/%s/%s", sp.Topology, sp.N, sp.Seed, sp.Duration, sp.Links, crashes)
 }
@@ -182,6 +206,38 @@ func RunLive(spec LiveSpec, interrupt <-chan struct{}) (*LiveResult, error) {
 	go func() {
 		defer close(crashDone)
 		start := time.Now()
+		if b := sp.Blackout; b != nil {
+			// Whole-system crash: take every process down at once, wait out
+			// the gap (long enough for all in-flight messages to die), then
+			// restart the entire table with fresh protocol state — the same
+			// shape a kill -9'd server presents its clients.
+			if d := b.At - time.Since(start); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-interrupt:
+					return
+				}
+			}
+			for _, p := range g.Nodes() {
+				r.Crash(p)
+			}
+			select {
+			case <-time.After(b.RestartAfter):
+			case <-interrupt:
+				return
+			}
+			for _, p := range g.Nodes() {
+				p := p
+				if r.Restart(p, func() {
+					tr.Reset(p) // first: resync messages need a working sender
+					tbl.Reset(p)
+					hb.Reset(p)
+				}) {
+					res.Recovered++
+				}
+			}
+			return
+		}
 		for _, c := range sp.Crashes {
 			if d := c.At - time.Since(start); d > 0 {
 				select {
@@ -232,9 +288,13 @@ func RunLive(spec LiveSpec, interrupt <-chan struct{}) (*LiveResult, error) {
 	// run's second half is the convergence era: exclusion violations must
 	// have stopped by then, and every diner — the restarted ones included —
 	// must still be eating in it.
-	if res.Recovered != len(sp.Crashes) {
+	wantRecovered := len(sp.Crashes)
+	if sp.Blackout != nil {
+		wantRecovered = sp.N
+	}
+	if res.Recovered != wantRecovered {
 		res.Failures = append(res.Failures,
-			fmt.Sprintf("restarts: %d of %d crashes recovered", res.Recovered, len(sp.Crashes)))
+			fmt.Sprintf("restarts: %d of %d crashes recovered", res.Recovered, wantRecovered))
 	}
 	if _, err := checker.EventualWeakExclusion(log, g, "dine", end/2, end); err != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("exclusion: %v", err))
@@ -251,7 +311,7 @@ func RunLive(spec LiveSpec, interrupt <-chan struct{}) (*LiveResult, error) {
 				fmt.Sprintf("starvation: diner %d never ate in the convergence era (%d meals total)", p, res.Meals[p]))
 		}
 	}
-	if want := len(sp.Crashes); want > 0 {
+	if want := wantRecovered; want > 0 {
 		if got := len(log.Filter(rt.Record{Kind: trace.KindRecover, P: -1, Peer: -1})); got != want {
 			res.Failures = append(res.Failures, fmt.Sprintf("trace: %d recover records, want %d", got, want))
 		}

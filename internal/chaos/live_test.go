@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -14,6 +15,14 @@ func TestLiveSpecValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("good spec rejected: %v", err)
 	}
+	goodBlackout := LiveSpec{Topology: "ring", N: 5, Seed: 1,
+		Blackout: &LiveBlackout{At: time.Second, RestartAfter: 500 * time.Millisecond}}
+	if err := goodBlackout.Validate(); err != nil {
+		t.Fatalf("good blackout spec rejected: %v", err)
+	}
+	if id := goodBlackout.ID(); !strings.Contains(id, "blackout@1s+500ms") {
+		t.Errorf("blackout spec ID %q does not name the blackout", id)
+	}
 	bad := []LiveSpec{
 		{Topology: "ring", N: 1},
 		{Topology: "möbius", N: 5},
@@ -26,6 +35,13 @@ func TestLiveSpecValidate(t *testing.T) {
 		{Topology: "ring", N: 5, Crashes: []LiveCrash{ // duplicate crash
 			{P: 1, At: time.Second, RestartAfter: 100 * time.Millisecond},
 			{P: 1, At: time.Second, RestartAfter: 100 * time.Millisecond}}},
+		{Topology: "ring", N: 5, // blackout and per-process crashes together
+			Crashes:  []LiveCrash{{P: 1, At: time.Second, RestartAfter: 100 * time.Millisecond}},
+			Blackout: &LiveBlackout{At: time.Second, RestartAfter: 100 * time.Millisecond}},
+		{Topology: "ring", N: 5, // blackout without a restart gap
+			Blackout: &LiveBlackout{At: time.Second}},
+		{Topology: "ring", N: 5, // blackout recovering past the half-point
+			Blackout: &LiveBlackout{At: 3 * time.Second, RestartAfter: time.Second}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -67,6 +83,37 @@ func TestRunLiveChaos(t *testing.T) {
 	}
 	if res.Recovered != 1 {
 		t.Errorf("recovered = %d, want 1", res.Recovered)
+	}
+	for p, meals := range res.Meals {
+		if meals == 0 {
+			t.Errorf("diner %d never ate", p)
+		}
+	}
+}
+
+// TestRunLiveBlackout is the in-process shape of the serve-crash harness:
+// every process dies at once mid-run, the whole table restarts after the
+// gap, and the run must still converge — all diners eating again, exclusion
+// clean in the second half, and one recover record per process.
+func TestRunLiveBlackout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live blackout run occupies seconds of wall clock")
+	}
+	spec := LiveSpec{
+		Topology: "ring", N: 5, Seed: 11,
+		Tick:     500 * time.Microsecond,
+		Duration: 6 * time.Second,
+		Blackout: &LiveBlackout{At: 1500 * time.Millisecond, RestartAfter: 500 * time.Millisecond},
+	}
+	res, err := RunLive(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("live blackout run failed: %v", res.Failures)
+	}
+	if res.Recovered != spec.N {
+		t.Errorf("recovered = %d, want %d (the whole table)", res.Recovered, spec.N)
 	}
 	for p, meals := range res.Meals {
 		if meals == 0 {

@@ -43,6 +43,15 @@ import (
 type Config struct {
 	// Retry is the request retransmission period while hungry (default 25).
 	Retry rt.Time
+	// Seed overrides the initial fork placement: it reports whether p holds
+	// the fork of edge {p, q} at module construction (nil: the lower id
+	// holds). A durable server uses it to rebuild persisted ownership after
+	// a restart.
+	Seed func(p, q rt.ProcID) bool
+	// OnFork observes every change of p's hold bit for edge {p, q},
+	// including the initial placement. It runs on protocol goroutines and
+	// must be fast and safe to call concurrently from different processes.
+	OnFork func(p, q rt.ProcID, hold bool)
 }
 
 // Table is a fork-algorithm dining instance.
@@ -157,8 +166,16 @@ func newModule(k rt.Runtime, g *graph.Graph, name string, p rt.ProcID, oracle de
 	}
 	for _, q := range m.nbrs {
 		// Initial fork placement: the lower id holds (any assignment works;
-		// priority comes from timestamps, not from placement).
-		m.edges[q] = &edge{hold: p < q}
+		// priority comes from timestamps, not from placement) unless a Seed
+		// — e.g. recovered durable state — says otherwise.
+		m.edges[q] = &edge{}
+		hold := p < q
+		if cfg.Seed != nil {
+			hold = cfg.Seed(p, q)
+		}
+		if hold {
+			m.setHold(q, true)
+		}
 	}
 	k.Handle(p, m.prefix+"/req", m.onReq)
 	k.Handle(p, m.prefix+"/fork", m.onFork)
@@ -247,6 +264,20 @@ func (m *module) onReq(msg rt.Message) {
 	}
 }
 
+// setHold flips one edge's hold bit, notifying the OnFork observer on every
+// real change. All hold mutations must go through here so a durable server
+// sees a complete journal of fork ownership.
+func (m *module) setHold(q rt.ProcID, hold bool) {
+	e := m.edges[q]
+	if e.hold == hold {
+		return
+	}
+	e.hold = hold
+	if m.cfg.OnFork != nil {
+		m.cfg.OnFork(m.self, q, hold)
+	}
+}
+
 // onFork records fork receipt (accepted in any state) and serves a deferred
 // request if we are no longer competing.
 func (m *module) onFork(msg rt.Message) {
@@ -254,7 +285,7 @@ func (m *module) onFork(msg rt.Message) {
 	if !ok {
 		return
 	}
-	e.hold = true
+	m.setHold(msg.From, true)
 	// A real fork settles a pending resync of its edge: no need to mint.
 	delete(m.resync, msg.From)
 	if e.wanted && m.State() == dining.Thinking {
@@ -265,7 +296,7 @@ func (m *module) onFork(msg rt.Message) {
 // yield transfers the fork to q.
 func (m *module) yield(q rt.ProcID) {
 	e := m.edges[q]
-	e.hold = false
+	m.setHold(q, false)
 	e.wanted = false
 	m.k.Send(m.self, q, m.prefix+"/fork", forkMsg{})
 	if m.State() == dining.Hungry {
@@ -314,7 +345,7 @@ func (t *Table) Reset(p rt.ProcID) {
 	m.resync = make(map[rt.ProcID]bool)
 	for _, q := range m.nbrs {
 		e := m.edges[q]
-		e.hold = false
+		m.setHold(q, false)
 		e.wanted = false
 		m.resync[q] = true
 		m.k.Send(m.self, q, m.prefix+"/sync", syncMsg{})
@@ -337,7 +368,7 @@ func (m *module) onSync(msg rt.Message) {
 	if m.resync[q] {
 		delete(m.resync, q)
 		if m.self < q {
-			e.hold = true
+			m.setHold(q, true)
 		}
 	}
 	m.k.Send(m.self, q, m.prefix+"/syncack", syncAckMsg{Hold: e.hold})
@@ -354,7 +385,7 @@ func (m *module) onSyncAck(msg rt.Message) {
 	}
 	delete(m.resync, q)
 	if !msg.Payload.(syncAckMsg).Hold {
-		e.hold = true
+		m.setHold(q, true)
 		if e.wanted && m.State() == dining.Thinking {
 			m.yield(q)
 		}

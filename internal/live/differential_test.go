@@ -8,6 +8,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/dining"
 	"repro/internal/dining/forks"
 	"repro/internal/graph"
 	"repro/internal/rt"
@@ -105,4 +106,117 @@ func TestDifferentialExtraction(t *testing.T) {
 	liveEnd := r.Now()
 	r.Stop()
 	validateExtraction(t, "live", liveLog, liveEnd)
+}
+
+// TestDifferentialBlackoutDining is the crash-recovery differential: the
+// identical dining construction runs once on the simulator with no faults —
+// the reference behavior — and once on the live runtime through a
+// whole-table blackout (every process killed at the same instant, the full
+// table restarted after a gap: the in-process shape of kill -9 on a
+// dineserve hosting all diners). The same checker verdicts judge both trace
+// streams; in the convergence era the recovered run must be
+// indistinguishable from the clean one.
+func TestDifferentialBlackoutDining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live blackout leg occupies seconds of wall clock")
+	}
+	const blkProcs = 4
+	g := graph.Ring(blkProcs)
+
+	buildTable := func(k rt.Runtime, hb detector.HeartbeatConfig) (*forks.Table, *detector.Heartbeat) {
+		oracle := detector.NewHeartbeat(k, "hb", hb)
+		tbl := forks.New(k, g, "dine", oracle, forks.Config{})
+		for _, p := range g.Nodes() {
+			dining.Drive(k, p, tbl.Diner(p), dining.DriverConfig{
+				ThinkMin: 10, ThinkMax: 60, EatMin: 10, EatMax: 30, FirstHunger: 30,
+			})
+		}
+		return tbl, oracle
+	}
+	// The runtime-agnostic verdicts: a clean ◇WX report on the second half
+	// and every diner eating in it. Both legs must pass both.
+	validate := func(which string, l *trace.Log, end rt.Time) {
+		t.Helper()
+		from := end / 2
+		if _, err := checker.EventualWeakExclusion(l, g, "dine", from, end); err != nil {
+			t.Errorf("%s: eventual weak exclusion: %v", which, err)
+		}
+		eat := l.Sessions("eating")
+		for _, p := range g.Nodes() {
+			late := 0
+			for _, iv := range eat[trace.SessionKey{Inst: "dine", P: p}] {
+				if iv.Start > from {
+					late++
+				}
+			}
+			if late == 0 {
+				t.Errorf("%s: diner %d never ate in the convergence era", which, p)
+			}
+		}
+	}
+
+	// Simulated reference: deterministic, partially synchronous, no faults.
+	simLog := &trace.Log{}
+	k := sim.NewKernel(blkProcs,
+		sim.WithSeed(23),
+		sim.WithTracer(simLog),
+		sim.WithDelay(sim.GSTDelay{GST: 500, PreMax: 60, PostMax: 6}),
+	)
+	buildTable(k, detector.HeartbeatConfig{})
+	simEnd := k.Run(diffHorizon)
+	validate("sim", simLog, simEnd)
+
+	// Live subject: the same table, killed whole and restarted whole.
+	liveLog := &trace.Log{}
+	tick := 500 * time.Microsecond
+	r := New(Config{N: blkProcs, Tick: tick, Tracer: liveLog})
+	tbl, oracle := buildTable(r, liveHB)
+	r.Start()
+	time.Sleep(1500 * time.Millisecond)
+	for _, p := range g.Nodes() {
+		r.Crash(p)
+	}
+	time.Sleep(400 * time.Millisecond)
+	for _, p := range g.Nodes() {
+		p := p
+		if !r.Restart(p, func() {
+			tbl.Reset(p)
+			oracle.Reset(p)
+		}) {
+			t.Fatalf("Restart(%d) refused", p)
+		}
+	}
+	time.Sleep(2500 * time.Millisecond)
+	liveEnd := r.Now()
+	r.Stop()
+
+	// The blackout bracket must be fully recorded: one closed dead interval
+	// and one recover record per process, and every diner must have eaten
+	// before the lights went out (the blackout interrupted real work).
+	dead := liveLog.DeadIntervals()
+	eat := liveLog.Sessions("eating")
+	for _, p := range g.Nodes() {
+		if len(dead[p]) != 1 || !dead[p][0].Closed() {
+			t.Fatalf("dead intervals of %d = %v, want one closed interval", p, dead[p])
+		}
+		early := 0
+		for _, iv := range eat[trace.SessionKey{Inst: "dine", P: p}] {
+			if iv.Start < dead[p][0].Start {
+				early++
+			}
+		}
+		if early == 0 {
+			t.Errorf("diner %d never ate before the blackout", p)
+		}
+		if n := len(liveLog.Filter(rt.Record{Kind: trace.KindRecover, P: p, Peer: -1})); n != 1 {
+			t.Errorf("recover records for %d = %d, want 1", p, n)
+		}
+	}
+	// Fork conservation after the full-table resync: no edge double-held.
+	for _, e := range g.Edges() {
+		if tbl.HoldsFork(e[0], e[1]) && tbl.HoldsFork(e[1], e[0]) {
+			t.Errorf("edge %d-%d has two fork holders after the blackout", e[0], e[1])
+		}
+	}
+	validate("live", liveLog, liveEnd)
 }

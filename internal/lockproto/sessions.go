@@ -62,6 +62,7 @@ type sessionRec struct {
 	status   sessionStatus
 	attached int   // live connection bindings; only 0 lets the lease run
 	lastSeen int64 // lease clock: last registry touch
+	seq      int64 // first-acquire order, preserved across snapshot/replay
 }
 
 // Sessions tracks every session of one server run, keyed (diner, id).
@@ -75,8 +76,18 @@ type sessionRec struct {
 type Sessions struct {
 	lease int64 // ticks a detached session survives; 0 = forever
 
-	mu   sync.Mutex
-	recs map[Key]*sessionRec
+	mu      sync.Mutex
+	recs    map[Key]*sessionRec
+	nextSeq int64
+	journal func(Rec) // observes every mutation, under mu; see SetJournal
+}
+
+// emit forwards a mutation to the journal. Callers hold s.mu, so the
+// journal sees records in exactly the order mutations were applied.
+func (s *Sessions) emit(r Rec) {
+	if s.journal != nil {
+		s.journal(r)
+	}
 }
 
 // NewSessions returns a registry whose detached sessions expire after lease
@@ -93,7 +104,9 @@ func (s *Sessions) Acquire(k Key, now int64) AcquireResult {
 	defer s.mu.Unlock()
 	rec, ok := s.recs[k]
 	if !ok {
-		s.recs[k] = &sessionRec{status: statusPending, lastSeen: now}
+		s.recs[k] = &sessionRec{status: statusPending, lastSeen: now, seq: s.nextSeq}
+		s.nextSeq++
+		s.emit(Rec{K: RecAcquire, D: k.Diner, I: k.ID, T: now})
 		return AcquireNew
 	}
 	switch rec.status {
@@ -116,6 +129,7 @@ func (s *Sessions) Abort(k Key) {
 	defer s.mu.Unlock()
 	if rec, ok := s.recs[k]; ok && rec.status == statusPending {
 		delete(s.recs, k)
+		s.emit(Rec{K: RecAbort, D: k.Diner, I: k.ID})
 	}
 }
 
@@ -132,6 +146,7 @@ func (s *Sessions) Grant(k Key, now int64) bool {
 	}
 	rec.status = statusGranted
 	rec.lastSeen = now
+	s.emit(Rec{K: RecGrant, D: k.Diner, I: k.ID, T: now})
 	return true
 }
 
@@ -147,10 +162,12 @@ func (s *Sessions) Release(k Key, now int64) ReleaseResult {
 	case statusGranted:
 		rec.status = statusDone
 		rec.lastSeen = now
+		s.emit(Rec{K: RecRelease, D: k.Diner, I: k.ID, T: now})
 		return ReleaseGranted
 	case statusPending:
 		rec.status = statusDone
 		rec.lastSeen = now
+		s.emit(Rec{K: RecRelease, D: k.Diner, I: k.ID, T: now})
 		return ReleasePending
 	default:
 		return ReleaseDone
@@ -166,6 +183,7 @@ func (s *Sessions) Attach(k Key, now int64) {
 	if rec, ok := s.recs[k]; ok && rec.status != statusDone {
 		rec.attached++
 		rec.lastSeen = now
+		s.emit(Rec{K: RecAttach, D: k.Diner, I: k.ID, T: now})
 	}
 }
 
@@ -180,6 +198,7 @@ func (s *Sessions) Detach(k Key, now int64) {
 			rec.attached--
 		}
 		rec.lastSeen = now
+		s.emit(Rec{K: RecDetach, D: k.Diner, I: k.ID, T: now})
 	}
 }
 
@@ -207,6 +226,7 @@ func (s *Sessions) Expire(now int64) []Expiry {
 		out = append(out, Expiry{Key: k, WasGranted: rec.status == statusGranted})
 		rec.status = statusDone
 		rec.lastSeen = now
+		s.emit(Rec{K: RecExpire, D: k.Diner, I: k.ID, T: now})
 	}
 	return out
 }

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# serve_crash.sh — the crash-recovery acceptance run, in three legs:
+#
+#   1. `chaos -live -live-blackout`: the in-process shape — every diner of a
+#      live table killed at the same instant, the whole table restarted
+#      after a gap, with the shared checkers requiring a clean convergence
+#      era afterwards.
+#
+#   2. The networked service, kill -9'd for real: dineserve with a WAL
+#      (-data-dir, -fsync always) under a self-healing dineload, killed
+#      ungracefully mid-load, restarted on the same port from the same
+#      directory. The load run must finish with zero errors and zero
+#      double-grants, the restarted server must report recovery and a clean
+#      ◇WX verdict on SIGINT, and `walinspect -verify` must prove the
+#      persisted grant ledger safe.
+#
+#   3. Torn-tail recovery: garbage appended to the newest WAL segment, then
+#      one more boot + load cycle. Recovery must truncate the tear (the
+#      server reports the dropped byte count), serve normally, and leave a
+#      verifiable directory behind.
+#
+# Used by `make serve-crash` and CI. CLIENTS/DURATION are overridable.
+set -u
+
+CLIENTS="${CLIENTS:-32}"
+DURATION="${DURATION:-10s}"
+BIN="${BIN:-bin}"
+LOG="$(mktemp -d)"
+DATA="$LOG/data"
+trap 'rm -rf "$LOG"' EXIT
+
+# --- helpers -----------------------------------------------------------------
+
+# wait_addr LOGFILE: echo the first loopback address the server logs.
+wait_addr() {
+    local addr=""
+    for _ in $(seq 100); do
+        addr=$(grep -o '127\.0\.0\.1:[0-9]*' "$1" 2>/dev/null | head -1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    echo "$addr"
+}
+
+fail() {
+    echo "serve-crash: FAIL — $1" >&2
+    shift
+    for f in "$@"; do echo "--- $f ---" >&2; cat "$f" >&2; done
+    exit 1
+}
+
+# --- leg 1: in-process blackout ----------------------------------------------
+
+echo "serve-crash: leg 1 — in-process whole-table blackout"
+"$BIN/chaos" -live -seeds 7 -sizes 5 -topologies ring \
+    -live-duration 6s -live-blackout 1500ms+500ms
+LIVE_EXIT=$?
+if [ "$LIVE_EXIT" -ne 0 ]; then
+    echo "serve-crash: FAIL — blackout campaign exited $LIVE_EXIT" >&2
+    exit "$LIVE_EXIT"
+fi
+
+# --- leg 2: kill -9 the real server mid-load ---------------------------------
+
+echo "serve-crash: leg 2 — dineserve with WAL, kill -9 mid-load"
+"$BIN/dineserve" -addr 127.0.0.1:0 -lease 5s \
+    -data-dir "$DATA" -fsync always -snap-records 1000 \
+    >"$LOG/serve1.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR=$(wait_addr "$LOG/serve1.log")
+[ -n "$ADDR" ] || fail "dineserve never started listening" "$LOG/serve1.log"
+echo "serve-crash: dineserve up on $ADDR, $CLIENTS clients for $DURATION"
+
+# Short op timeout: the outage must read as reconnect-and-replay, not as a
+# stuck read. The client registry replay is what makes the kill safe to
+# observe — every grant and release is durable before the client sees it.
+# The 50ms hold keeps a few sessions granted at any instant, so the kill
+# lands mid-critical-section and the restart exercises the regrant path.
+"$BIN/dineload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" \
+    -hold 50ms -watch=false -op-timeout 500ms >"$LOG/load.log" 2>&1 &
+LOAD_PID=$!
+
+sleep 3
+echo "serve-crash: kill -9 $SERVE_PID"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+sleep 1
+
+"$BIN/dineserve" -addr "$ADDR" -lease 5s \
+    -data-dir "$DATA" -fsync always -snap-records 1000 \
+    >"$LOG/serve2.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR2=$(wait_addr "$LOG/serve2.log")
+[ -n "$ADDR2" ] || fail "restarted dineserve never came back on $ADDR" "$LOG/serve2.log"
+grep -q "dineserve: recovered" "$LOG/serve2.log" \
+    || fail "restarted server logged no recovery line" "$LOG/serve2.log"
+
+wait "$LOAD_PID"
+LOAD_EXIT=$?
+cat "$LOG/load.log"
+if [ "$LOAD_EXIT" -ne 0 ]; then
+    fail "dineload exited $LOAD_EXIT across the crash" "$LOG/serve2.log"
+fi
+grep -q "double-grants: 0" "$LOG/load.log" \
+    || fail "clients observed a double grant" "$LOG/load.log"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_EXIT=$?
+cat "$LOG/serve2.log"
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    fail "restarted dineserve exited $SERVE_EXIT (exclusion check or drain failed)"
+fi
+grep -q "exclusion check OK" "$LOG/serve2.log" \
+    || fail "no exclusion verdict in the restarted server's log"
+
+"$BIN/walinspect" -verify "$DATA" || fail "walinspect rejected the post-crash ledger"
+
+# --- leg 3: torn WAL tail ----------------------------------------------------
+
+echo "serve-crash: leg 3 — torn-tail recovery"
+NEWEST=$(ls "$DATA"/wal-* 2>/dev/null | sort | tail -1)
+[ -n "$NEWEST" ] || fail "no WAL segment to corrupt in $DATA"
+printf 'TORNTORNTORNTORN garbage past the last valid frame' >> "$NEWEST"
+echo "serve-crash: appended garbage to $(basename "$NEWEST")"
+
+"$BIN/dineserve" -addr 127.0.0.1:0 -lease 5s \
+    -data-dir "$DATA" -fsync always -snap-records 1000 \
+    >"$LOG/serve3.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR3=$(wait_addr "$LOG/serve3.log")
+[ -n "$ADDR3" ] || fail "dineserve refused to boot from the torn directory" "$LOG/serve3.log"
+grep -q "torn tail [1-9]" "$LOG/serve3.log" \
+    || fail "recovery did not report the torn tail" "$LOG/serve3.log"
+
+"$BIN/dineload" -addr "$ADDR3" -clients 8 -duration 3s -watch=false \
+    -op-timeout 500ms >"$LOG/load3.log" 2>&1
+LOAD_EXIT=$?
+cat "$LOG/load3.log"
+[ "$LOAD_EXIT" -eq 0 ] || fail "post-tear dineload exited $LOAD_EXIT" "$LOG/serve3.log"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_EXIT=$?
+cat "$LOG/serve3.log"
+[ "$SERVE_EXIT" -eq 0 ] || fail "post-tear dineserve exited $SERVE_EXIT"
+grep -q "exclusion check OK" "$LOG/serve3.log" \
+    || fail "no exclusion verdict after torn-tail recovery"
+
+"$BIN/walinspect" -verify "$DATA" || fail "walinspect rejected the post-tear ledger"
+
+echo "serve-crash: OK"
