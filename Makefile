@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench chaos chaos-live serve-smoke serve-crash
+.PHONY: check vet build test race fuzz bench bench-serve chaos chaos-live serve-smoke serve-crash
 
 check: vet build race fuzz
 
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzForksSchedules -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzLinkPlanValidate -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=^$$ -fuzz=FuzzLockprotoDedup -fuzztime=$(FUZZTIME) ./internal/lockproto
+	$(GO) test -run=^$$ -fuzz=FuzzWireCodecEquivalence -fuzztime=$(FUZZTIME) ./internal/lockproto
 	$(GO) test -run=^$$ -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Performance trajectory: run the substrate micro-benchmarks and the E*
@@ -45,6 +46,15 @@ bench:
 		| $(GO) run ./cmd/bench2json -baseline BENCH_kernel.json -o BENCH_kernel.json
 	$(GO) test -run '^$$' -bench '$(EXPERIMENT_BENCH)' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/bench2json -baseline BENCH_experiments.json -o BENCH_experiments.json
+
+# Service-path trajectory: codec/flush/registry micro-benchmarks (with their
+# encoding/json baselines), the in-process loopback service benchmarks, and
+# a real dineload run against dineserve, all folded into BENCH_serve.json.
+# CLIENTS/DURATION are overridable.
+bench-serve:
+	$(GO) build -o bin/dineserve ./cmd/dineserve
+	$(GO) build -o bin/dineload ./cmd/dineload
+	bash scripts/bench_serve.sh
 
 # The default chaos campaign: 240 runs over the real dining boxes, exit 1 on
 # any property violation.

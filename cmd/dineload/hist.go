@@ -1,0 +1,99 @@
+package main
+
+import (
+	"math/bits"
+	"time"
+)
+
+// latHist is a fixed-footprint log-scale latency histogram: 4 sub-buckets
+// per power-of-two octave of microseconds, from 1µs up past an hour. It
+// replaces the store-every-sample recorder the load generator used to carry
+// — under a long run at high throughput that slice grew without bound and
+// its end-of-run sort dominated shutdown; the histogram is a few KB per
+// client forever, merging is bucket addition, and percentiles come from a
+// cumulative scan. Quantization error is bounded by the sub-bucket width
+// (≤ ~19% of the value), which is far below run-to-run noise; the maximum
+// is tracked exactly because tail spikes are the one thing quantization
+// would hide.
+type latHist struct {
+	counts [latBuckets]int64
+	n      int64
+	max    time.Duration
+}
+
+// latBuckets covers exponents 0..39 (1µs to ~18 hours) at 4 buckets each.
+const latBuckets = 40 * 4
+
+// latBucket maps a duration to its bucket: floor(log2(µs)) picks the
+// octave, the next two bits below the leading one pick the quarter.
+func latBucket(d time.Duration) int {
+	v := uint64(d.Microseconds())
+	if v == 0 {
+		v = 1
+	}
+	exp := uint(bits.Len64(v) - 1)
+	var sub uint64
+	if exp >= 2 {
+		sub = (v >> (exp - 2)) & 3
+	} else {
+		sub = (v << (2 - exp)) & 3
+	}
+	idx := int(exp)*4 + int(sub)
+	if idx >= latBuckets {
+		idx = latBuckets - 1
+	}
+	return idx
+}
+
+// latBucketUpper is the inclusive upper bound of a bucket, the value
+// percentiles report: (5+sub)/4 × 2^exp microseconds, minus nothing — a
+// pessimistic (never-underestimating) representative.
+func latBucketUpper(idx int) time.Duration {
+	exp := uint(idx / 4)
+	sub := uint64(idx % 4)
+	us := ((5 + sub) << exp) / 4
+	return time.Duration(us) * time.Microsecond
+}
+
+func (h *latHist) add(d time.Duration) {
+	h.counts[latBucket(d)]++
+	h.n++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// merge folds another histogram in (the per-client results into the total).
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// pct returns the p-th percentile (0–100) as the owning bucket's upper
+// bound; the exact maximum for p ≥ 100 or when the scan runs off the end.
+func (h *latHist) pct(p float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(h.n))
+	if rank >= h.n {
+		return h.max
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			u := latBucketUpper(i)
+			if u > h.max {
+				return h.max // the top bucket's bound can overshoot the real max
+			}
+			return u
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestLatHistPercentiles checks the histogram's percentiles against exact
+// order statistics on a log-uniform sample: each reported percentile must
+// be ≥ the true one (buckets report upper bounds) and within one sub-bucket
+// width (25%) of it, and the max must be exact.
+func TestLatHistPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h latHist
+	var exact []time.Duration
+	for i := 0; i < 20000; i++ {
+		us := 1 << uint(rng.Intn(20)) // 1µs..~1s octaves
+		d := time.Duration(us+rng.Intn(us)) * time.Microsecond
+		h.add(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{50, 95, 99} {
+		got := h.pct(p)
+		want := exact[int(p/100*float64(len(exact)))]
+		if got < want {
+			t.Errorf("p%.0f: histogram %v under exact %v", p, got, want)
+		}
+		if float64(got) > float64(want)*1.25+float64(time.Microsecond) {
+			t.Errorf("p%.0f: histogram %v over exact %v by more than a sub-bucket", p, got, want)
+		}
+	}
+	if h.pct(100) != exact[len(exact)-1] || h.max != exact[len(exact)-1] {
+		t.Errorf("max: got %v/%v want %v", h.pct(100), h.max, exact[len(exact)-1])
+	}
+}
+
+// TestLatHistMerge: merging per-client histograms must equal one histogram
+// fed every sample.
+func TestLatHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole latHist
+	parts := make([]latHist, 4)
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1e6)) * time.Microsecond
+		whole.add(d)
+		parts[i%4].add(d)
+	}
+	var merged latHist
+	for i := range parts {
+		merged.merge(&parts[i])
+	}
+	if merged != whole {
+		t.Fatal("merge diverged from the single-histogram run")
+	}
+}
+
+// TestLatHistEdges pins the degenerate inputs: zero samples, zero duration,
+// and a value past the last octave must all stay in range.
+func TestLatHistEdges(t *testing.T) {
+	var h latHist
+	if h.pct(50) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	h.add(0)
+	h.add(300 * time.Hour) // beyond the last bucket: clamps, max still exact
+	if h.pct(100) != 300*time.Hour {
+		t.Fatalf("max lost: %v", h.pct(100))
+	}
+	if got := h.pct(0); got <= 0 || got > 2*time.Microsecond {
+		t.Fatalf("p0 of a 0s sample: %v", got)
+	}
+}

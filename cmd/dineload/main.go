@@ -10,13 +10,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +30,7 @@ func main() {
 		hold     = flag.Duration("hold", 2*time.Millisecond, "how long each session holds the lock")
 		opTO     = flag.Duration("op-timeout", 15*time.Second, "per-reply read deadline")
 		watch    = flag.Bool("watch", true, "also stream ◇P suspect events on a side connection")
+		bench    = flag.Bool("bench", false, "also emit results as one go-test benchmark line (for bench2json)")
 	)
 	flag.Parse()
 
@@ -66,40 +65,39 @@ func main() {
 	wg.Wait()
 	close(watchDone)
 
-	var lats []time.Duration
+	var lat latHist
 	sessions, errs, reconns, abandoned, dblGrants := 0, 0, 0, 0, 0
-	for _, res := range results {
+	for i := range results {
+		res := &results[i]
 		sessions += res.sessions
 		errs += res.errors
 		reconns += res.reconnects
 		abandoned += res.abandoned
 		dblGrants += res.doubleGrants
-		lats = append(lats, res.latencies...)
+		lat.merge(&res.lat)
 	}
 	elapsed := *duration
+	rate := float64(sessions) / elapsed.Seconds()
 	fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
 	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d, reconnects: %d, abandoned: %d, double-grants: %d\n",
-		sessions, float64(sessions)/elapsed.Seconds(), errs, reconns, abandoned, dblGrants)
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sessions, rate, errs, reconns, abandoned, dblGrants)
+	if lat.n > 0 {
 		fmt.Printf("dineload: acquire latency p50=%v p95=%v p99=%v max=%v\n",
-			pct(lats, 50), pct(lats, 95), pct(lats, 99), lats[len(lats)-1])
+			lat.pct(50), lat.pct(95), lat.pct(99), lat.max)
 	}
 	if *watch {
 		fmt.Printf("dineload: suspect-stream events: %d\n", suspectEvents.Load())
 	}
+	if *bench && sessions > 0 {
+		// One go-test-format benchmark line so cmd/bench2json can fold the
+		// end-to-end load run into the same document as the micro-benchmarks.
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		fmt.Printf("BenchmarkServeLoad %d %.1f sessions/s %.3f ms-p50 %.3f ms-p95 %.3f ms-p99 %.3f ms-max\n",
+			sessions, rate, ms(lat.pct(50)), ms(lat.pct(95)), ms(lat.pct(99)), ms(lat.max))
+	}
 	if errs > 0 || sessions == 0 {
 		os.Exit(1)
 	}
-}
-
-// pct picks the p-th percentile of a sorted latency slice.
-func pct(sorted []time.Duration, p int) time.Duration {
-	idx := len(sorted) * p / 100
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx].Round(10 * time.Microsecond)
 }
 
 // probe asks the server for its diner count.
@@ -110,11 +108,11 @@ func probe(addr string, timeout time.Duration) (int, error) {
 	}
 	defer c.Close()
 	c.SetDeadline(time.Now().Add(timeout))
-	if err := json.NewEncoder(c).Encode(lockproto.Request{Op: lockproto.OpInfo}); err != nil {
+	if err := lockproto.WriteRequest(c, &lockproto.Request{Op: lockproto.OpInfo}); err != nil {
 		return 0, err
 	}
 	var ev lockproto.Event
-	if err := json.NewDecoder(c).Decode(&ev); err != nil {
+	if err := lockproto.NewEventReader(c).Read(&ev); err != nil {
 		return 0, err
 	}
 	if ev.Ev != lockproto.EvInfo || ev.Diners < 1 {
@@ -134,13 +132,13 @@ func watchSuspects(addr string, n *atomic.Int64, done <-chan struct{}) {
 		<-done
 		c.Close() // unblocks the decoder
 	}()
-	if err := json.NewEncoder(c).Encode(lockproto.Request{Op: lockproto.OpWatch}); err != nil {
+	if err := lockproto.WriteRequest(c, &lockproto.Request{Op: lockproto.OpWatch}); err != nil {
 		return
 	}
-	dec := json.NewDecoder(c)
+	er := lockproto.NewEventReader(c)
 	for {
 		var ev lockproto.Event
-		if err := dec.Decode(&ev); err != nil {
+		if err := er.Read(&ev); err != nil {
 			return
 		}
 		if ev.Ev == lockproto.EvSuspect {
@@ -159,7 +157,7 @@ type clientResult struct {
 	// no-double-grant guarantee (e.g. a server that forgot a release across
 	// a crash). Always a protocol error.
 	doubleGrants int
-	latencies    []time.Duration
+	lat          latHist // acquire latency (request sent → grant received)
 }
 
 // exchange outcomes.
@@ -182,8 +180,7 @@ type client struct {
 	opTO     time.Duration
 
 	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	er   *lockproto.EventReader
 	res  clientResult
 	// done holds every session id this client has finished with (released,
 	// or reclaimed by the server). A grant arriving for one of them can only
@@ -204,7 +201,7 @@ func (cl *client) reconnect() bool {
 	for time.Now().Before(cl.deadline) {
 		c, err := net.DialTimeout("tcp", cl.addr, cl.opTO)
 		if err == nil {
-			cl.conn, cl.enc, cl.dec = c, json.NewEncoder(c), json.NewDecoder(c)
+			cl.conn, cl.er = c, lockproto.NewEventReader(c)
 			if !first {
 				cl.res.reconnects++
 			}
@@ -225,7 +222,7 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 		if cl.conn == nil && !cl.reconnect() {
 			return xStop
 		}
-		if err := cl.enc.Encode(req); err != nil {
+		if err := lockproto.WriteRequest(cl.conn, &req); err != nil {
 			if !cl.reconnect() {
 				return xStop
 			}
@@ -234,7 +231,7 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 		cl.conn.SetReadDeadline(time.Now().Add(cl.opTO))
 		for {
 			var ev lockproto.Event
-			if err := cl.dec.Decode(&ev); err != nil {
+			if err := cl.er.Read(&ev); err != nil {
 				if !cl.reconnect() {
 					return xStop
 				}
@@ -293,7 +290,7 @@ func runClient(prefix string, id int, addr string, diners int, deadline time.Tim
 			cl.done[sid] = true // server reclaimed it: any later grant is bogus
 			continue
 		}
-		cl.res.latencies = append(cl.res.latencies, time.Since(start))
+		cl.res.lat.add(time.Since(start))
 		time.Sleep(hold)
 		rel := cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}, lockproto.EvReleased)
 		cl.done[sid] = true

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/dining/forks"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/lockproto"
+)
+
+// This file is the in-process half of the service benchmark suite: a real
+// dineserve (live runtime, forks table, heartbeat detector, TCP listener on
+// a loopback ephemeral port) driven by real protocol clients, with no
+// persistence and no extractor so the measured path is exactly the request
+// pipeline — codec, session registry, diner manager, flush writer. The
+// numbers include the dining layer's grant latency, which is tick-paced, so
+// they measure the service overhead *around* a fixed protocol core; the
+// end-to-end load numbers come from `make bench-serve` driving the same
+// binary over dineload.
+
+// benchServer boots a servable table on an ephemeral port and returns its
+// address plus a shutdown func.
+func benchServer(b *testing.B, n int) (string, func()) {
+	b.Helper()
+	g := graph.Ring(n)
+	feed := newSuspectFeed(extInst)
+	r := live.New(live.Config{N: n, Tick: 200 * time.Microsecond})
+	hb := detector.NewHeartbeat(r, "hb", detector.HeartbeatConfig{
+		Interval: 20, Check: 10, Timeout: 2000, Bump: 1000,
+	})
+	tbl := forks.New(r, g, tableInst, hb, forks.Config{})
+	srv := newServer(r, tbl, feed, lockproto.NewSessions(0), 0, nil, 0)
+	r.Start()
+	ln, err := srv.listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.accept()
+	return ln.Addr().String(), func() {
+		srv.drain(5 * time.Second)
+		r.Stop()
+	}
+}
+
+// benchClient is one protocol client over the wire codec.
+type benchClient struct {
+	c  net.Conn
+	er *lockproto.EventReader
+}
+
+func dialBench(b *testing.B, addr string) *benchClient {
+	b.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchClient{c: c, er: lockproto.NewEventReader(c)}
+}
+
+// session runs one full acquire→grant→release→ack cycle.
+func (cl *benchClient) session(b *testing.B, diner int, id string) {
+	if err := lockproto.WriteRequest(cl.c, &lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: id}); err != nil {
+		b.Fatal(err)
+	}
+	cl.await(b, lockproto.EvGranted, id)
+	if err := lockproto.WriteRequest(cl.c, &lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: id}); err != nil {
+		b.Fatal(err)
+	}
+	cl.await(b, lockproto.EvReleased, id)
+}
+
+func (cl *benchClient) await(b *testing.B, ev, id string) {
+	for {
+		var e lockproto.Event
+		if err := cl.er.Read(&e); err != nil {
+			b.Fatal(err)
+		}
+		if e.Ev == lockproto.EvError {
+			b.Fatalf("server error for %s: %s", id, e.Msg)
+		}
+		if e.Ev == ev && e.ID == id {
+			return
+		}
+	}
+}
+
+// BenchmarkServeGrant measures the sequential end-to-end session round trip
+// on an uncontended diner: acquire → grant → release → ack, one client.
+func BenchmarkServeGrant(b *testing.B) {
+	addr, stop := benchServer(b, 3)
+	defer stop()
+	cl := dialBench(b, addr)
+	defer cl.c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.session(b, 0, fmt.Sprintf("g-%d", i))
+	}
+	b.StopTimer()
+}
+
+// BenchmarkServeChurn measures concurrent session throughput: many clients
+// churning sessions across all diners of a ring, the contention shape the
+// sharded registry and the coalesced writes exist for.
+func BenchmarkServeChurn(b *testing.B) {
+	const n = 8
+	addr, stop := benchServer(b, n)
+	defer stop()
+	var cid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := cid.Add(1)
+		cl := dialBench(b, addr)
+		defer cl.c.Close()
+		// Spread clients over diners; even/odd neighbours of a ring contend
+		// on forks, so this exercises real dining-layer arbitration too.
+		diner := int(id) % n
+		for i := 0; pb.Next(); i++ {
+			cl.session(b, diner, fmt.Sprintf("c%d-%d", id, i))
+		}
+	})
+	b.StopTimer()
+}

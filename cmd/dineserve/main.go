@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof: registers the profiling handlers
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,10 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "how long SIGINT waits for in-flight sessions")
 		lease     = flag.Duration("lease", 30*time.Second, "how long a disconnected client's session survives before forced release (0: forever)")
 		maxInFl   = flag.Int64("max-inflight", 4096, "max concurrent sessions before new acquires are shed with \"overloaded\" (0: unlimited)")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
+		flushBatch = flag.Int("flush-batch", 0, "per-connection write-coalescing batch bound in bytes (0: default 32KiB)")
+		flushDelay = flag.Duration("flush-delay", 0, "per-connection write-coalescing flush deadline (0: default 500µs)")
 
 		dataDir    = flag.String("data-dir", "", "WAL+snapshot directory; empty disables persistence")
 		fsync      = flag.String("fsync", "always", "WAL durability: always (fsync per commit), interval, or never")
@@ -168,7 +174,19 @@ func main() {
 		core.NewExtractor(r, procs, forks.Factory(hb, forks.Config{}), extInst)
 	}
 
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "dineserve: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("dineserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	srv := newServer(r, tbl, feed, sessions, *maxInFl, dur, clockBase)
+	srv.flushBatch = *flushBatch
+	srv.flushDelay = *flushDelay
 	if recovered != nil && len(recovered.Live) > 0 {
 		// Re-queue the crash's in-flight sessions before the listener opens:
 		// granted ones re-enter the dining layer, pending ones line up again,
@@ -212,6 +230,16 @@ func main() {
 	fmt.Printf("dineserve: granted=%d regranted=%d released=%d expired=%d shed=%d steps=%d msgs=%d\n",
 		srv.granted.Load(), srv.regranted.Load(), srv.released.Load(), srv.expired.Load(), srv.shed.Load(),
 		r.Counter("steps"), r.Counter("msg.delivered"))
+	if ev := srv.wireEvents.Load(); ev > 0 {
+		fmt.Printf("dineserve: wire events=%d writes=%d (%.1f events/write)\n",
+			ev, srv.wireWrites.Load(), float64(ev)/float64(max64(srv.wireWrites.Load(), 1)))
+	}
+	if dur != nil {
+		if calls := dur.barrierCalls.Load(); calls > 0 {
+			fmt.Printf("dineserve: durability barriers=%d fsync-rounds=%d (%.1f barriers/fsync)\n",
+				calls, dur.syncRounds.Load(), float64(calls)/float64(max64(dur.syncRounds.Load(), 1)))
+		}
+	}
 
 	// The service's whole life is the run; require exclusion mistakes to
 	// have stopped by its midpoint. With no crashes and sane timeouts there
@@ -223,4 +251,11 @@ func main() {
 	}
 	fmt.Printf("dineserve: exclusion check OK — %d violations, all before t=%d (run end t=%d)\n",
 		len(rep.Violations), end/2, end)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -46,6 +45,11 @@ type server struct {
 	// unbounded queue growth). 0 = unlimited.
 	maxInflight int64
 
+	// flushBatch/flushDelay tune each connection's coalescing writer
+	// (zero: lockproto defaults).
+	flushBatch int
+	flushDelay time.Duration
+
 	ln       net.Listener
 	stop     chan struct{}
 	draining atomic.Bool
@@ -53,8 +57,7 @@ type server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	sesMu sync.Mutex
-	byKey map[lockproto.Key]*session
+	byKey sessionTable // live *session objects, sharded like the registry
 
 	inFlight  atomic.Int64 // sessions accepted but not yet finished
 	granted   atomic.Int64
@@ -62,6 +65,55 @@ type server struct {
 	released  atomic.Int64
 	expired   atomic.Int64 // sessions reclaimed by the lease janitor
 	shed      atomic.Int64 // acquires refused with "overloaded"
+
+	wireWrites atomic.Int64 // socket Write calls across closed connections
+	wireEvents atomic.Int64 // events those writes carried (coalescing ratio)
+}
+
+// sessionTable shards the key→*session map the same way the lockproto
+// registry shards its records: by diner, so the table lookup on the acquire
+// and release hot paths never serializes independent diners behind one
+// mutex (the old global sesMu did exactly that).
+type sessionTable struct {
+	shards [16]struct {
+		mu sync.Mutex
+		m  map[lockproto.Key]*session
+		_  [24]byte // keep neighbouring locks off one cache line
+	}
+}
+
+func (t *sessionTable) shard(k lockproto.Key) (*sync.Mutex, map[lockproto.Key]*session) {
+	sh := &t.shards[uint(k.Diner)%uint(len(t.shards))]
+	return &sh.mu, sh.m
+}
+
+// init allocates the shard maps; newServer calls it before any traffic.
+func (t *sessionTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[lockproto.Key]*session)
+	}
+}
+
+func (t *sessionTable) get(k lockproto.Key) *session {
+	mu, m := t.shard(k)
+	mu.Lock()
+	ses := m[k]
+	mu.Unlock()
+	return ses
+}
+
+func (t *sessionTable) put(k lockproto.Key, ses *session) {
+	mu, m := t.shard(k)
+	mu.Lock()
+	m[k] = ses
+	mu.Unlock()
+}
+
+func (t *sessionTable) del(k lockproto.Key) {
+	mu, m := t.shard(k)
+	mu.Lock()
+	delete(m, k)
+	mu.Unlock()
 }
 
 func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, sessions *lockproto.Sessions,
@@ -75,8 +127,8 @@ func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, sessions *l
 		maxInflight: maxInflight,
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
-		byKey:       make(map[lockproto.Key]*session),
 	}
+	s.byKey.init()
 	for _, p := range tbl.Graph().Nodes() {
 		m := &dinerMgr{
 			srv:   s,
@@ -120,9 +172,7 @@ func (s *server) resume(live []lockproto.RecoveredSession) int {
 		if rs.Granted {
 			granted++
 		}
-		s.sesMu.Lock()
-		s.byKey[rs.Key] = ses
-		s.sesMu.Unlock()
+		s.byKey.put(rs.Key, ses)
 		s.inFlight.Add(1)
 		select {
 		case s.mgrs[rs.Key.Diner].queue <- ses:
@@ -180,21 +230,14 @@ func (s *server) janitor() {
 		s.dur.tick(now)
 		for _, e := range s.sessions.Expire(now) {
 			s.expired.Add(1)
-			s.sesMu.Lock()
-			ses := s.byKey[e.Key]
-			s.sesMu.Unlock()
-			if ses != nil && e.WasGranted {
+			if ses := s.byKey.get(e.Key); ses != nil && e.WasGranted {
 				ses.finishRelease()
 			}
 		}
 	}
 }
 
-func (s *server) dropSession(k lockproto.Key) {
-	s.sesMu.Lock()
-	delete(s.byKey, k)
-	s.sesMu.Unlock()
-}
+func (s *server) dropSession(k lockproto.Key) { s.byKey.del(k) }
 
 func (s *server) accept() {
 	for {
@@ -229,27 +272,31 @@ func (s *server) drain(timeout time.Duration) {
 	s.connMu.Unlock()
 }
 
-// jconn serializes writes from the connection reader, the diner managers,
-// and the watch forwarder onto one socket.
+// jconn is one client connection's outbound half: a coalescing flush
+// writer over the socket. Writes from the connection reader, the diner
+// managers, and the watch forwarder serialize on the writer's internal
+// lock; a burst of events (grant acks interleaved with the suspect stream)
+// rides one socket Write instead of one per event.
 type jconn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *json.Encoder
+	c  net.Conn
+	fw *lockproto.FlushWriter
 }
 
-func (j *jconn) send(ev lockproto.Event) bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.enc.Encode(ev) == nil
-}
+func (j *jconn) send(ev lockproto.Event) bool { return j.fw.Send(&ev) }
 
 func (s *server) handleConn(c net.Conn) {
-	jc := &jconn{c: c, enc: json.NewEncoder(c)}
+	jc := &jconn{c: c, fw: lockproto.NewFlushWriter(c, s.flushBatch, s.flushDelay)}
 	attached := make(map[lockproto.Key]*session)
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, c)
 		s.connMu.Unlock()
+		// Flush anything still coalescing (the close drains), then drop the
+		// socket; roll the connection's write stats into the server totals.
+		jc.fw.Close()
+		flushes, events := jc.fw.Stats()
+		s.wireWrites.Add(flushes)
+		s.wireEvents.Add(events)
 		c.Close()
 		// Detach, don't abandon: the sessions stay in flight so the client
 		// can reconnect and resume them; the lease clock starts now.
@@ -266,10 +313,10 @@ func (s *server) handleConn(c net.Conn) {
 		jc.send(lockproto.Event{Ev: lockproto.EvError, Diner: req.Diner, ID: req.ID, Msg: msg})
 	}
 
-	dec := json.NewDecoder(c)
+	rr := lockproto.NewRequestReader(c)
 	for {
 		var req lockproto.Request
-		if err := dec.Decode(&req); err != nil {
+		if err := rr.Read(&req); err != nil {
 			return
 		}
 		switch req.Op {
@@ -296,9 +343,7 @@ func (s *server) handleConn(c net.Conn) {
 					continue
 				}
 				ses := newSession(key)
-				s.sesMu.Lock()
-				s.byKey[key] = ses
-				s.sesMu.Unlock()
+				s.byKey.put(key, ses)
 				s.sessions.Attach(key, now)
 				ses.attach(jc)
 				attached[key] = ses
@@ -320,9 +365,7 @@ func (s *server) handleConn(c net.Conn) {
 				// section itself is never granted twice. The registry counts
 				// bindings, so this Attach and the dying connection's deferred
 				// Detach land safely in either order.
-				s.sesMu.Lock()
-				ses := s.byKey[key]
-				s.sesMu.Unlock()
+				ses := s.byKey.get(key)
 				if ses == nil {
 					// Completed between the registry check and here.
 					fail(req, "session expired")
@@ -342,10 +385,7 @@ func (s *server) handleConn(c net.Conn) {
 			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
 			switch s.sessions.Release(key, s.now()) {
 			case lockproto.ReleaseGranted:
-				s.sesMu.Lock()
-				ses := s.byKey[key]
-				s.sesMu.Unlock()
-				if ses != nil {
+				if ses := s.byKey.get(key); ses != nil {
 					ses.finishRelease() // the manager sends EvReleased after the exit
 				}
 			case lockproto.ReleasePending:

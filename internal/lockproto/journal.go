@@ -171,8 +171,7 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 				return nil, fmt.Errorf("snapshot session %d/%s: %w", ss.Diner, ss.ID, err)
 			}
 			k := Key{Diner: ss.Diner, ID: ss.ID}
-			s.recs[k] = &sessionRec{status: status, attached: ss.Attached, lastSeen: ss.LastSeen, seq: s.nextSeq}
-			s.nextSeq++
+			s.putRec(k, &sessionRec{status: status, attached: ss.Attached, lastSeen: ss.LastSeen, seq: s.nextSeq.Add(1) - 1})
 			order = append(order, k)
 		}
 		for _, f := range st.Forks {
@@ -192,14 +191,13 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 		k := Key{Diner: rec.D, ID: rec.I}
 		switch rec.K {
 		case RecAcquire:
-			if sr, ok := s.recs[k]; ok {
+			if sr, ok := s.getRec(k); ok {
 				// Snapshot-cut duplicate: the session is already here.
 				if rec.T > sr.lastSeen {
 					sr.lastSeen = rec.T
 				}
 			} else {
-				s.recs[k] = &sessionRec{status: statusPending, lastSeen: rec.T, seq: s.nextSeq}
-				s.nextSeq++
+				s.putRec(k, &sessionRec{status: statusPending, lastSeen: rec.T, seq: s.nextSeq.Add(1) - 1})
 				order = append(order, k)
 			}
 		case RecGrant:
@@ -207,7 +205,7 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 				r.Violations = append(r.Violations,
 					fmt.Sprintf("session %d/%s has %d grant records (double grant)", k.Diner, k.ID, grants[k]))
 			}
-			sr, ok := s.recs[k]
+			sr, ok := s.getRec(k)
 			if !ok {
 				r.Violations = append(r.Violations,
 					fmt.Sprintf("grant record for unknown session %d/%s", k.Diner, k.ID))
@@ -220,12 +218,12 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 				sr.lastSeen = rec.T
 			}
 		case RecRelease:
-			if sr, ok := s.recs[k]; ok {
+			if sr, ok := s.getRec(k); ok {
 				sr.status = statusDone
 				sr.lastSeen = rec.T
 			}
 		case RecExpire:
-			if sr, ok := s.recs[k]; ok {
+			if sr, ok := s.getRec(k); ok {
 				sr.status = statusDone
 				sr.lastSeen = rec.T
 				// The live janitor only expires sessions with no bindings;
@@ -234,20 +232,20 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 				sr.attached = 0
 			}
 		case RecAttach:
-			if sr, ok := s.recs[k]; ok && sr.status != statusDone {
+			if sr, ok := s.getRec(k); ok && sr.status != statusDone {
 				sr.attached++
 				sr.lastSeen = rec.T
 			}
 		case RecDetach:
-			if sr, ok := s.recs[k]; ok && sr.status != statusDone {
+			if sr, ok := s.getRec(k); ok && sr.status != statusDone {
 				if sr.attached > 0 {
 					sr.attached--
 				}
 				sr.lastSeen = rec.T
 			}
 		case RecAbort:
-			if sr, ok := s.recs[k]; ok && sr.status == statusPending {
-				delete(s.recs, k)
+			if sr, ok := s.getRec(k); ok && sr.status == statusPending {
+				s.delRec(k)
 			}
 		case RecTick:
 			// Nothing beyond the watermark advance above.
@@ -262,7 +260,7 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 
 	seen := make(map[Key]bool)
 	for _, k := range order {
-		sr, ok := s.recs[k]
+		sr, ok := s.getRec(k)
 		if !ok || sr.status == statusDone || seen[k] {
 			continue
 		}
@@ -303,29 +301,50 @@ func Replay(lease int64, snapshot []byte, records [][]byte) (*Recovered, error) 
 }
 
 // SetJournal registers fn to observe every mutating transition, invoked
-// synchronously under the registry lock — journal order is apply order, by
-// construction. fn must be fast and must not call back into the registry.
+// synchronously under the mutated key's shard lock — a key's journal order
+// is its apply order, by construction (see emit for the cross-shard
+// contract). fn must be fast and must not call back into the registry.
 func (s *Sessions) SetJournal(fn func(Rec)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.journal = fn
+	if fn == nil {
+		s.journal.Store(nil)
+		return
+	}
+	s.journal.Store(&fn)
 }
 
+// getRec, putRec, and delRec are replay-time map accessors: Replay owns the
+// registry exclusively before any concurrency exists, so they skip the
+// shard locks.
+func (s *Sessions) getRec(k Key) (*sessionRec, bool) {
+	rec, ok := s.shard(k).recs[k]
+	return rec, ok
+}
+
+func (s *Sessions) putRec(k Key, rec *sessionRec) { s.shard(k).recs[k] = rec }
+
+func (s *Sessions) delRec(k Key) { delete(s.shard(k).recs, k) }
+
 // SnapshotState captures every session — tombstones included, they are the
-// no-double-grant memory — in first-acquire order.
+// no-double-grant memory — in first-acquire order. Shards are captured one
+// at a time; a mutation that lands in an already-captured shard is simply
+// re-described by its WAL record in the fresh segment, which replay
+// tolerates (the snapshot-cut idempotency contract).
 func (s *Sessions) SnapshotState() []SessionState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	type row struct {
 		seq int64
 		st  SessionState
 	}
-	rows := make([]row, 0, len(s.recs))
-	for k, rec := range s.recs {
-		rows = append(rows, row{seq: rec.seq, st: SessionState{
-			Diner: k.Diner, ID: k.ID, Status: statusName(rec.status),
-			LastSeen: rec.lastSeen, Attached: rec.attached,
-		}})
+	var rows []row
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, rec := range sh.recs {
+			rows = append(rows, row{seq: rec.seq, st: SessionState{
+				Diner: k.Diner, ID: k.ID, Status: statusName(rec.status),
+				LastSeen: rec.lastSeen, Attached: rec.attached,
+			}})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
 	out := make([]SessionState, len(rows))
@@ -342,13 +361,16 @@ func (s *Sessions) SnapshotState() []SessionState {
 // lease would be mass-expired on the first janitor pass after restart —
 // before their clients ever get a chance to reconnect.
 func (s *Sessions) ResetBindings(now int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, rec := range s.recs {
-		if rec.status == statusDone {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.recs {
+			if rec.status == statusDone {
+				continue
+			}
+			rec.attached = 0
+			rec.lastSeen = now
 		}
-		rec.attached = 0
-		rec.lastSeen = now
+		sh.mu.Unlock()
 	}
 }

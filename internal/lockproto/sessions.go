@@ -1,6 +1,9 @@
 package lockproto
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file is the server-side session registry that makes the protocol
 // safe to replay: clients reconnect after connection resets and re-send the
@@ -8,6 +11,14 @@ import "sync"
 // must be idempotent. The registry is deterministic — no clocks, no
 // goroutines; callers stamp every mutating call with their own notion of
 // `now` (server ticks) — which is what makes it directly fuzzable.
+//
+// Concurrency. The registry is sharded by diner over a power-of-two shard
+// array: a session's whole life happens under its diner's shard lock, so
+// requests for independent diners never contend — the sharding that turned
+// the old single registry mutex from a global serialization point into a
+// per-diner one. Cross-shard state is two atomics (the acquire sequence and
+// the journal hook); the janitor's Expire sweeps one shard at a time, so an
+// expiry pass never stops the world either.
 
 // Key identifies one session across connections.
 type Key struct {
@@ -65,6 +76,18 @@ type sessionRec struct {
 	seq      int64 // first-acquire order, preserved across snapshot/replay
 }
 
+// sessionShards is the shard count: power of two, sized so that even a
+// clique of diners on a large host rarely maps two hot diners to one lock.
+const sessionShards = 16
+
+// sesShard is one lock's worth of the registry. Padded to a cache line so
+// neighbouring shards' locks never false-share.
+type sesShard struct {
+	mu   sync.Mutex
+	recs map[Key]*sessionRec
+	_    [24]byte
+}
+
 // Sessions tracks every session of one server run, keyed (diner, id).
 // Completed sessions leave tombstones, so a frame replayed arbitrarily late
 // can never re-grant. Detached sessions (their connection died) expire after
@@ -72,40 +95,53 @@ type sessionRec struct {
 // (Attach/Detach), not flagged: a reconnecting client's new binding and the
 // old connection's teardown race in either order, and only a commutative
 // count guarantees the session stays pinned while at least one connection
-// holds it. Safe for concurrent use.
+// holds it. Safe for concurrent use; see the sharding note above.
 type Sessions struct {
-	lease int64 // ticks a detached session survives; 0 = forever
-
-	mu      sync.Mutex
-	recs    map[Key]*sessionRec
-	nextSeq int64
-	journal func(Rec) // observes every mutation, under mu; see SetJournal
+	lease   int64 // ticks a detached session survives; 0 = forever
+	nextSeq atomic.Int64
+	journal atomic.Pointer[func(Rec)] // observes every mutation, under the shard lock
+	shards  [sessionShards]sesShard
 }
 
-// emit forwards a mutation to the journal. Callers hold s.mu, so the
-// journal sees records in exactly the order mutations were applied.
+// shard maps a key to its shard. The uint cast makes hostile negative
+// diners (which the Release path does not pre-validate) wrap instead of
+// panic.
+func (s *Sessions) shard(k Key) *sesShard {
+	return &s.shards[uint(k.Diner)%sessionShards]
+}
+
+// emit forwards a mutation to the journal. Callers hold the key's shard
+// lock, so the journal sees a key's records in exactly the order its
+// mutations were applied; records of different shards interleave in
+// whatever order the WAL serializes them, which replay tolerates (every
+// cross-key ordering it relies on is forced by the caller's own
+// happens-before, e.g. a grant barrier preceding the release that follows).
 func (s *Sessions) emit(r Rec) {
-	if s.journal != nil {
-		s.journal(r)
+	if fn := s.journal.Load(); fn != nil {
+		(*fn)(r)
 	}
 }
 
 // NewSessions returns a registry whose detached sessions expire after lease
 // ticks (0: never).
 func NewSessions(lease int64) *Sessions {
-	return &Sessions{lease: lease, recs: make(map[Key]*sessionRec)}
+	s := &Sessions{lease: lease}
+	for i := range s.shards {
+		s.shards[i].recs = make(map[Key]*sessionRec)
+	}
+	return s
 }
 
 // Acquire classifies (and, if new, registers) an acquire request. Any
 // non-done sighting refreshes the lease clock; binding the connection is the
 // caller's separate, explicitly paired Attach.
 func (s *Sessions) Acquire(k Key, now int64) AcquireResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.recs[k]
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.recs[k]
 	if !ok {
-		s.recs[k] = &sessionRec{status: statusPending, lastSeen: now, seq: s.nextSeq}
-		s.nextSeq++
+		sh.recs[k] = &sessionRec{status: statusPending, lastSeen: now, seq: s.nextSeq.Add(1) - 1}
 		s.emit(Rec{K: RecAcquire, D: k.Diner, I: k.ID, T: now})
 		return AcquireNew
 	}
@@ -125,10 +161,11 @@ func (s *Sessions) Acquire(k Key, now int64) AcquireResult {
 // scheduled after all (e.g. the diner's queue was full), so the client may
 // retry the same id later.
 func (s *Sessions) Abort(k Key) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec, ok := s.recs[k]; ok && rec.status == statusPending {
-		delete(s.recs, k)
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec, ok := sh.recs[k]; ok && rec.status == statusPending {
+		delete(sh.recs, k)
 		s.emit(Rec{K: RecAbort, D: k.Diner, I: k.ID})
 	}
 }
@@ -138,9 +175,10 @@ func (s *Sessions) Abort(k Key) {
 // in which case the caller must hand the section straight back. Grant can
 // return true at most once per key, ever.
 func (s *Sessions) Grant(k Key, now int64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.recs[k]
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.recs[k]
 	if !ok || rec.status != statusPending {
 		return false
 	}
@@ -152,9 +190,10 @@ func (s *Sessions) Grant(k Key, now int64) bool {
 
 // Release completes a session (idempotently: replays get ReleaseDone).
 func (s *Sessions) Release(k Key, now int64) ReleaseResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.recs[k]
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.recs[k]
 	if !ok {
 		return ReleaseUnknown
 	}
@@ -178,9 +217,10 @@ func (s *Sessions) Release(k Key, now int64) ReleaseResult {
 // least one binding never expires. Every Attach must eventually be paired
 // with exactly one Detach. No-op on done sessions.
 func (s *Sessions) Attach(k Key, now int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec, ok := s.recs[k]; ok && rec.status != statusDone {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec, ok := sh.recs[k]; ok && rec.status != statusDone {
 		rec.attached++
 		rec.lastSeen = now
 		s.emit(Rec{K: RecAttach, D: k.Diner, I: k.ID, T: now})
@@ -191,9 +231,10 @@ func (s *Sessions) Attach(k Key, now int64) {
 // clock starts (or restarts) at now. Unpaired calls clamp at zero rather
 // than corrupt the count.
 func (s *Sessions) Detach(k Key, now int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec, ok := s.recs[k]; ok && rec.status != statusDone {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec, ok := sh.recs[k]; ok && rec.status != statusDone {
 		if rec.attached > 0 {
 			rec.attached--
 		}
@@ -211,22 +252,27 @@ type Expiry struct {
 // Expire marks every detached, non-done session idle for longer than the
 // lease as done and returns them. A session is never returned twice, and an
 // expired session behaves exactly like a released one afterwards: replayed
-// acquires get AcquireDone, replayed releases get ReleaseDone.
+// acquires get AcquireDone, replayed releases get ReleaseDone. The sweep
+// locks one shard at a time, so an expiry pass over a large registry never
+// blocks the other shards' request traffic.
 func (s *Sessions) Expire(now int64) []Expiry {
 	if s.lease <= 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []Expiry
-	for k, rec := range s.recs {
-		if rec.status == statusDone || rec.attached > 0 || now-rec.lastSeen <= s.lease {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, rec := range sh.recs {
+			if rec.status == statusDone || rec.attached > 0 || now-rec.lastSeen <= s.lease {
+				continue
+			}
+			out = append(out, Expiry{Key: k, WasGranted: rec.status == statusGranted})
+			rec.status = statusDone
+			rec.lastSeen = now
+			s.emit(Rec{K: RecExpire, D: k.Diner, I: k.ID, T: now})
 		}
-		out = append(out, Expiry{Key: k, WasGranted: rec.status == statusGranted})
-		rec.status = statusDone
-		rec.lastSeen = now
-		s.emit(Rec{K: RecExpire, D: k.Diner, I: k.ID, T: now})
+		sh.mu.Unlock()
 	}
 	return out
 }

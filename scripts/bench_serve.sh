@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench_serve.sh — the reproducible service benchmark run behind
+# `make bench-serve`. Three layers land in one go-bench stream:
+#
+#   1. codec + writer + registry micro-benchmarks (internal/lockproto),
+#      including the encoding/json baselines (BenchmarkWire*JSON) so the
+#      artifact itself records the ≥2x allocs/op claim;
+#   2. the in-process loopback service benchmarks (BenchmarkServeGrant,
+#      BenchmarkServeChurn) — full pipeline, no persistence;
+#   3. an end-to-end dineload run against a real dineserve on an ephemeral
+#      port, folded in via dineload's -bench line (BenchmarkServeLoad).
+#
+# The combined stream goes through cmd/bench2json with the committed
+# artifact as baseline, producing BENCH_serve.json with before/after deltas.
+set -u
+
+CLIENTS="${CLIENTS:-64}"
+DURATION="${DURATION:-5s}"
+BIN="${BIN:-bin}"
+OUT="${OUT:-BENCH_serve.json}"
+LOG="$(mktemp -d)"
+trap 'rm -rf "$LOG"' EXIT
+
+fail() { echo "bench-serve: $*" >&2; exit 1; }
+
+echo "bench-serve: micro-benchmarks (codec, flush writer, sessions)"
+go test -run '^$' -bench 'BenchmarkWire|BenchmarkFlushWriter|BenchmarkSessions' \
+    -benchmem ./internal/lockproto >"$LOG/micro.txt" || fail "lockproto benchmarks failed"
+
+echo "bench-serve: in-process service benchmarks (grant, churn)"
+go test -run '^$' -bench 'BenchmarkServeGrant|BenchmarkServeChurn' \
+    -benchmem ./cmd/dineserve >"$LOG/inproc.txt" || fail "dineserve benchmarks failed"
+
+echo "bench-serve: end-to-end load ($CLIENTS clients for $DURATION)"
+"$BIN/dineserve" -addr 127.0.0.1:0 >"$LOG/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR=""
+for _ in $(seq 100); do
+    ADDR=$(grep -o '127\.0\.0\.1:[0-9]*' "$LOG/serve.log" 2>/dev/null | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$LOG/serve.log" >&2; fail "dineserve never started listening"; }
+
+"$BIN/dineload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" -bench \
+    >"$LOG/load.txt" || { cat "$LOG/load.txt" >&2; fail "dineload run failed"; }
+cat "$LOG/load.txt"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { cat "$LOG/serve.log" >&2; fail "dineserve exit (exclusion check or drain failed)"; }
+grep -q "exclusion check OK" "$LOG/serve.log" || fail "no clean exclusion verdict"
+grep "dineserve: wire events" "$LOG/serve.log" || true
+
+cat "$LOG/micro.txt" "$LOG/inproc.txt" "$LOG/load.txt" \
+    | go run ./cmd/bench2json -baseline "$OUT" -o "$OUT" || fail "bench2json failed"
+echo "bench-serve: wrote $OUT"
