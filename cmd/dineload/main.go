@@ -10,16 +10,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/lockproto"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 		opTO     = flag.Duration("op-timeout", 15*time.Second, "per-reply read deadline")
 		watch    = flag.Bool("watch", true, "also stream ◇P suspect events on a side connection")
 		bench    = flag.Bool("bench", false, "also emit results as one go-test benchmark line (for bench2json)")
+		scrape   = flag.String("scrape", "", "dineserve -metrics base URL (e.g. http://127.0.0.1:9117): scrape /statusz mid-run and report the server-side grant latency next to the client-side numbers")
 	)
 	flag.Parse()
 
@@ -52,6 +56,21 @@ func main() {
 	// other's sessions and tombstones.
 	prefix := fmt.Sprintf("%06x", rand.New(rand.NewSource(time.Now().UnixNano()+int64(os.Getpid())<<20)).Intn(1<<24))
 
+	// The mid-run scrape fires at half duration — the load is in steady
+	// state, so the server's histogram and the clients' agree on what the
+	// same grants cost from each side.
+	scrapeCh := make(chan *metrics.Snapshot, 1)
+	if *scrape != "" {
+		go func() {
+			time.Sleep(*duration / 2)
+			snap, err := scrapeStatusz(*scrape, *opTO)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dineload: scrape: %v\n", err)
+			}
+			scrapeCh <- snap // nil on error: reported once at the end
+		}()
+	}
+
 	deadline := time.Now().Add(*duration)
 	results := make([]clientResult, *clients)
 	var wg sync.WaitGroup
@@ -65,7 +84,7 @@ func main() {
 	wg.Wait()
 	close(watchDone)
 
-	var lat latHist
+	lat := metrics.NewHist()
 	sessions, errs, reconns, abandoned, dblGrants := 0, 0, 0, 0, 0
 	for i := range results {
 		res := &results[i]
@@ -74,16 +93,35 @@ func main() {
 		reconns += res.reconnects
 		abandoned += res.abandoned
 		dblGrants += res.doubleGrants
-		lat.merge(&res.lat)
+		lat.Merge(res.lat)
 	}
 	elapsed := *duration
 	rate := float64(sessions) / elapsed.Seconds()
 	fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
 	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d, reconnects: %d, abandoned: %d, double-grants: %d\n",
 		sessions, rate, errs, reconns, abandoned, dblGrants)
-	if lat.n > 0 {
+	if lat.Count() > 0 {
 		fmt.Printf("dineload: acquire latency p50=%v p95=%v p99=%v max=%v\n",
-			lat.pct(50), lat.pct(95), lat.pct(99), lat.max)
+			lat.PctDuration(50), lat.PctDuration(95), lat.PctDuration(99), lat.MaxDuration())
+	}
+	if *scrape != "" {
+		if snap := <-scrapeCh; snap != nil {
+			// The server observes acquire-received → grant-sent; the client
+			// observes request-sent → grant-received. The gap between the two
+			// is the wire plus the client's own scheduling.
+			hs, ok := snap.Hists["dineserve_grant_latency_seconds"]
+			if !ok {
+				fmt.Fprintln(os.Stderr, "dineload: scrape: server exposes no dineserve_grant_latency_seconds")
+			} else {
+				sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+				fmt.Printf("dineload: server-side grant latency (mid-run, %d grants) p50=%v p95=%v p99=%v max=%v\n",
+					hs.Count, sec(hs.P50), sec(hs.P95), sec(hs.P99), sec(hs.Max))
+				if lat.Count() > 0 && hs.Count > 0 {
+					fmt.Printf("dineload: client-vs-server p50 gap: %v (wire + client scheduling)\n",
+						lat.PctDuration(50)-sec(hs.P50))
+				}
+			}
+		}
 	}
 	if *watch {
 		fmt.Printf("dineload: suspect-stream events: %d\n", suspectEvents.Load())
@@ -93,11 +131,29 @@ func main() {
 		// end-to-end load run into the same document as the micro-benchmarks.
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		fmt.Printf("BenchmarkServeLoad %d %.1f sessions/s %.3f ms-p50 %.3f ms-p95 %.3f ms-p99 %.3f ms-max\n",
-			sessions, rate, ms(lat.pct(50)), ms(lat.pct(95)), ms(lat.pct(99)), ms(lat.max))
+			sessions, rate, ms(lat.PctDuration(50)), ms(lat.PctDuration(95)), ms(lat.PctDuration(99)), ms(lat.MaxDuration()))
 	}
 	if errs > 0 || sessions == 0 {
 		os.Exit(1)
 	}
+}
+
+// scrapeStatusz fetches the server's JSON metrics snapshot.
+func scrapeStatusz(base string, timeout time.Duration) (*metrics.Snapshot, error) {
+	cli := &http.Client{Timeout: timeout}
+	resp, err := cli.Get(base + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /statusz: %s", resp.Status)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
 }
 
 // probe asks the server for its diner count.
@@ -157,7 +213,7 @@ type clientResult struct {
 	// no-double-grant guarantee (e.g. a server that forgot a release across
 	// a crash). Always a protocol error.
 	doubleGrants int
-	lat          latHist // acquire latency (request sent → grant received)
+	lat          *metrics.Hist // acquire latency (request sent → grant received)
 }
 
 // exchange outcomes.
@@ -272,6 +328,7 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 // connection resets: a single dial or read error no longer ends the client.
 func runClient(prefix string, id int, addr string, diners int, deadline time.Time, hold, opTO time.Duration) clientResult {
 	cl := &client{addr: addr, deadline: deadline, opTO: opTO, done: make(map[string]bool)}
+	cl.res.lat = metrics.NewHist()
 	defer func() {
 		if cl.conn != nil {
 			cl.conn.Close()
@@ -290,7 +347,7 @@ func runClient(prefix string, id int, addr string, diners int, deadline time.Tim
 			cl.done[sid] = true // server reclaimed it: any later grant is bogus
 			continue
 		}
-		cl.res.lat.add(time.Since(start))
+		cl.res.lat.ObserveDuration(time.Since(start))
 		time.Sleep(hold)
 		rel := cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}, lockproto.EvReleased)
 		cl.done[sid] = true

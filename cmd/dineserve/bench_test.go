@@ -35,7 +35,7 @@ func benchServer(b *testing.B, n int) (string, func()) {
 		Interval: 20, Check: 10, Timeout: 2000, Bump: 1000,
 	})
 	tbl := forks.New(r, g, tableInst, hb, forks.Config{})
-	srv := newServer(r, tbl, feed, lockproto.NewSessions(0), 0, nil, 0)
+	srv := newServer(r, tbl, feed, lockproto.NewSessions(0), 0, nil, 0, nil)
 	r.Start()
 	ln, err := srv.listen("127.0.0.1:0")
 	if err != nil {

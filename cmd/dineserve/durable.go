@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lockproto"
+	"repro/internal/metrics"
 	"repro/internal/rt"
 	"repro/internal/wal"
 )
@@ -42,8 +43,11 @@ type durable struct {
 	syncing  bool
 	syncedTo wal.LSN
 
-	barrierCalls atomic.Int64 // barrier invocations (grants + releases)
-	syncRounds   atomic.Int64 // leader syncs actually issued
+	// Registry handles, wired by instrument() before traffic starts.
+	// nil-safe, so a durable built in a test without metrics still works.
+	records *metrics.Counter // journal records appended
+	calls   *metrics.Counter // barrier invocations (grants + releases)
+	rounds  *metrics.Counter // leader syncs actually issued
 }
 
 func newDurable(store *wal.Store, sessions *lockproto.Sessions, snapEvery int64) *durable {
@@ -55,6 +59,15 @@ func newDurable(store *wal.Store, sessions *lockproto.Sessions, snapEvery int64)
 	}
 	d.bcond = sync.NewCond(&d.bmu)
 	return d
+}
+
+// instrument wires the durability counters into the registry. Called before
+// the listener opens; a durable left uninstrumented just counts nothing.
+func (d *durable) instrument(m *serverMetrics) {
+	if d == nil {
+		return
+	}
+	d.records, d.calls, d.rounds = m.walRecords, m.walBarriers, m.walSyncRounds
 }
 
 func (d *durable) fatal(err error) {
@@ -71,6 +84,7 @@ func (d *durable) append(rec lockproto.Rec) {
 	if _, err := d.store.Append(rec.Encode()); err != nil {
 		d.fatal(err)
 	}
+	d.records.Inc()
 	d.recsSince.Add(1)
 }
 
@@ -95,7 +109,7 @@ func (d *durable) barrier() {
 	if d == nil {
 		return
 	}
-	d.barrierCalls.Add(1)
+	d.calls.Inc()
 	lsn := d.store.Appended()
 	d.bmu.Lock()
 	for d.syncedTo < lsn {
@@ -119,7 +133,7 @@ func (d *durable) barrier() {
 			d.bmu.Unlock()
 			d.fatal(err)
 		}
-		d.syncRounds.Add(1)
+		d.rounds.Inc()
 	}
 	d.bmu.Unlock()
 }

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers the profiling handlers
 	"os"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/live"
 	"repro/internal/lockproto"
+	"repro/internal/metrics"
 	"repro/internal/rt"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -47,9 +49,10 @@ func main() {
 		lease     = flag.Duration("lease", 30*time.Second, "how long a disconnected client's session survives before forced release (0: forever)")
 		maxInFl   = flag.Int64("max-inflight", 4096, "max concurrent sessions before new acquires are shed with \"overloaded\" (0: unlimited)")
 
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
-		flushBatch = flag.Int("flush-batch", 0, "per-connection write-coalescing batch bound in bytes (0: default 32KiB)")
-		flushDelay = flag.Duration("flush-delay", 0, "per-connection write-coalescing flush deadline (0: default 500µs)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
+		metricsAddr = flag.String("metrics", "", "serve /metrics (Prometheus text) and /statusz (JSON) on this address (e.g. 127.0.0.1:9117; empty: off)")
+		flushBatch  = flag.Int("flush-batch", 0, "per-connection write-coalescing batch bound in bytes (0: default 32KiB)")
+		flushDelay  = flag.Duration("flush-delay", 0, "per-connection write-coalescing flush deadline (0: default 500µs)")
 
 		dataDir    = flag.String("data-dir", "", "WAL+snapshot directory; empty disables persistence")
 		fsync      = flag.String("fsync", "always", "WAL durability: always (fsync per commit), interval, or never")
@@ -82,6 +85,11 @@ func main() {
 		leaseTicks = int64(*lease / *tick)
 	}
 
+	// The instrument inventory exists before everything else so recovery,
+	// the WAL, and the runtime can be born instrumented. Instruments are
+	// always live; -metrics only decides whether an HTTP listener shows them.
+	m := newServerMetrics()
+
 	// Recovery happens before anything else exists: the WAL decides the
 	// session registry, the fork seeding, and the clock base the rest of the
 	// boot builds on.
@@ -95,7 +103,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dineserve: %v\n", err)
 			os.Exit(2)
 		}
-		store, walRec, err := wal.Open(*dataDir, wal.Options{Policy: pol, Interval: *fsyncEvery})
+		store, walRec, err := wal.Open(*dataDir, wal.Options{
+			Policy: pol, Interval: *fsyncEvery,
+			OnSync: func(records int64, d time.Duration) {
+				m.walFsyncs.Inc()
+				m.walFsyncLat.ObserveDuration(d)
+				if records > 0 {
+					m.walBatch.Observe(records)
+				}
+			},
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dineserve: wal: %v\n", err)
 			os.Exit(1)
@@ -125,16 +142,23 @@ func main() {
 		fmt.Printf("dineserve: recovered %d live sessions (%d granted), %d fork edges, watermark t=%d, torn tail %d bytes\n",
 			len(recovered.Live), nGranted, len(recovered.Forks), clockBase, walRec.TornBytes)
 		dur = newDurable(store, sessions, *snapRecs)
+		dur.instrument(m)
 		sessions.SetJournal(dur.journal)
 	}
 
 	log := &trace.Log{}
 	feed := newSuspectFeed(extInst)
+	// Name the bus explicitly (live.New would default to the same one) so
+	// its delivery counters can be sampled by the registry.
+	bus := live.NewChanBus()
 	r := live.New(live.Config{
 		N:      *n,
 		Tick:   *tick,
 		Tracer: multiTracer{log, feed},
+		Bus:    bus,
 	})
+	m.observeRuntime(r)
+	m.observeBus(bus)
 	hb := detector.NewHeartbeat(r, "hb", detector.HeartbeatConfig{
 		Interval: 20, Check: 10,
 		Timeout: rt.Time(*hbTimeout), Bump: rt.Time(*hbTimeout) / 2,
@@ -184,9 +208,25 @@ func main() {
 		fmt.Printf("dineserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	srv := newServer(r, tbl, feed, sessions, *maxInFl, dur, clockBase)
+	srv := newServer(r, tbl, feed, sessions, *maxInFl, dur, clockBase, m)
 	srv.flushBatch = *flushBatch
 	srv.flushDelay = *flushDelay
+	m.observeServer(srv)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dineserve: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(mln, metrics.Handler(m.reg)); err != nil {
+				// Closed at process exit; nothing to clean up.
+				_ = err
+			}
+		}()
+		fmt.Printf("dineserve: metrics on http://%s/metrics\n", mln.Addr())
+	}
 	if recovered != nil && len(recovered.Live) > 0 {
 		// Re-queue the crash's in-flight sessions before the listener opens:
 		// granted ones re-enter the dining layer, pending ones line up again,
@@ -227,18 +267,18 @@ func main() {
 	end := r.Now()
 	r.Stop()
 	dur.close()
+	// Exit-time telemetry reads the same registry a -metrics scrape serves,
+	// so the final numbers and a mid-run scrape can never disagree.
 	fmt.Printf("dineserve: granted=%d regranted=%d released=%d expired=%d shed=%d steps=%d msgs=%d\n",
-		srv.granted.Load(), srv.regranted.Load(), srv.released.Load(), srv.expired.Load(), srv.shed.Load(),
+		m.granted.Value(), m.regranted.Value(), m.released.Value(), m.expired.Value(), m.shed.Value(),
 		r.Counter("steps"), r.Counter("msg.delivered"))
-	if ev := srv.wireEvents.Load(); ev > 0 {
+	if ev := m.wireEvents.Value(); ev > 0 {
 		fmt.Printf("dineserve: wire events=%d writes=%d (%.1f events/write)\n",
-			ev, srv.wireWrites.Load(), float64(ev)/float64(max64(srv.wireWrites.Load(), 1)))
+			ev, m.wireWrites.Value(), float64(ev)/float64(max64(m.wireWrites.Value(), 1)))
 	}
-	if dur != nil {
-		if calls := dur.barrierCalls.Load(); calls > 0 {
-			fmt.Printf("dineserve: durability barriers=%d fsync-rounds=%d (%.1f barriers/fsync)\n",
-				calls, dur.syncRounds.Load(), float64(calls)/float64(max64(dur.syncRounds.Load(), 1)))
-		}
+	if calls := m.walBarriers.Value(); calls > 0 {
+		fmt.Printf("dineserve: durability barriers=%d fsync-rounds=%d (%.1f barriers/fsync)\n",
+			calls, m.walSyncRounds.Value(), float64(calls)/float64(max64(m.walSyncRounds.Value(), 1)))
 	}
 
 	// The service's whole life is the run; require exclusion mistakes to

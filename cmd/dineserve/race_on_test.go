@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-delta test skips under it because the race runtime itself
+// allocates on paths the production build does not.
+const raceEnabled = true

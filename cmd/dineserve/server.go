@@ -10,6 +10,7 @@ import (
 	"repro/internal/dining"
 	"repro/internal/live"
 	"repro/internal/lockproto"
+	"repro/internal/metrics"
 	"repro/internal/rt"
 )
 
@@ -35,7 +36,8 @@ type server struct {
 	feed     *suspectFeed
 	mgrs     []*dinerMgr
 	sessions *lockproto.Sessions
-	dur      *durable // nil: no persistence
+	dur      *durable       // nil: no persistence
+	m        *serverMetrics // instrument handles; always non-nil
 	// clockBase offsets the runtime's tick clock so server time resumes
 	// from the recovered watermark instead of restarting at zero — the
 	// lease arithmetic (lastSeen vs now) only works if time never rewinds.
@@ -59,15 +61,12 @@ type server struct {
 
 	byKey sessionTable // live *session objects, sharded like the registry
 
-	inFlight  atomic.Int64 // sessions accepted but not yet finished
-	granted   atomic.Int64
-	regranted atomic.Int64 // recovered grants re-entered after a restart
-	released  atomic.Int64
-	expired   atomic.Int64 // sessions reclaimed by the lease janitor
-	shed      atomic.Int64 // acquires refused with "overloaded"
-
-	wireWrites atomic.Int64 // socket Write calls across closed connections
-	wireEvents atomic.Int64 // events those writes carried (coalescing ratio)
+	// inFlight stays a plain atomic (not a registry gauge) because it is
+	// control state — the shedding comparison and the drain loop read it —
+	// and the registry samples it via a GaugeFunc instead of mirroring.
+	// Everything that is pure telemetry (granted/released/expired/shed,
+	// wire coalescing, grant latency) lives in s.m.
+	inFlight atomic.Int64 // sessions accepted but not yet finished
 }
 
 // sessionTable shards the key→*session map the same way the lockproto
@@ -117,18 +116,25 @@ func (t *sessionTable) del(k lockproto.Key) {
 }
 
 func newServer(r *live.Runtime, tbl dining.Table, feed *suspectFeed, sessions *lockproto.Sessions,
-	maxInflight int64, dur *durable, clockBase int64) *server {
+	maxInflight int64, dur *durable, clockBase int64, m *serverMetrics) *server {
+	if m == nil {
+		m = newServerMetrics()
+	}
 	s := &server{
 		r:           r,
 		feed:        feed,
 		sessions:    sessions,
 		dur:         dur,
+		m:           m,
 		clockBase:   clockBase,
 		maxInflight: maxInflight,
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
 	s.byKey.init()
+	// The feed mirrors extraction records into churn counters; wire it to
+	// the same registry the managers write to.
+	feed.suspects, feed.trusts, feed.droppedC = m.suspects, m.trusts, m.watchDropped
 	for _, p := range tbl.Graph().Nodes() {
 		m := &dinerMgr{
 			srv:   s,
@@ -229,7 +235,7 @@ func (s *server) janitor() {
 		now := s.now()
 		s.dur.tick(now)
 		for _, e := range s.sessions.Expire(now) {
-			s.expired.Add(1)
+			s.m.expired.Inc()
 			if ses := s.byKey.get(e.Key); ses != nil && e.WasGranted {
 				ses.finishRelease()
 			}
@@ -286,17 +292,22 @@ func (j *jconn) send(ev lockproto.Event) bool { return j.fw.Send(&ev) }
 
 func (s *server) handleConn(c net.Conn) {
 	jc := &jconn{c: c, fw: lockproto.NewFlushWriter(c, s.flushBatch, s.flushDelay)}
+	// Each socket write lands in the registry as it happens, so the
+	// coalescing ratio is scrapeable mid-run instead of only accumulating
+	// at connection teardown (the old Stats roll-up).
+	jc.fw.OnFlush(func(events, bytes int64) {
+		s.m.wireWrites.Inc()
+		s.m.wireEvents.Add(events)
+		s.m.wireBytes.Add(bytes)
+	})
 	attached := make(map[lockproto.Key]*session)
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, c)
 		s.connMu.Unlock()
 		// Flush anything still coalescing (the close drains), then drop the
-		// socket; roll the connection's write stats into the server totals.
+		// socket.
 		jc.fw.Close()
-		flushes, events := jc.fw.Stats()
-		s.wireWrites.Add(flushes)
-		s.wireEvents.Add(events)
 		c.Close()
 		// Detach, don't abandon: the sessions stay in flight so the client
 		// can reconnect and resume them; the lease clock starts now.
@@ -338,7 +349,7 @@ func (s *server) handleConn(c net.Conn) {
 			case lockproto.AcquireNew:
 				if s.maxInflight > 0 && s.inFlight.Load() >= s.maxInflight {
 					s.sessions.Abort(key)
-					s.shed.Add(1)
+					s.m.shed.Inc()
 					fail(req, "overloaded")
 					continue
 				}
@@ -438,6 +449,10 @@ type session struct {
 	// manager re-wins the dining-layer grant but must not re-run the
 	// registry transition. Set before enqueue, read-only afterwards.
 	regrant bool
+	// start stamps the acquire's arrival; the server-side grant-latency
+	// histogram observes start→grant-sent. Recovered sessions carry their
+	// resume time instead, which is why regrants are not observed.
+	start   time.Time
 	release chan struct{}
 	relOnce sync.Once
 
@@ -448,7 +463,7 @@ type session struct {
 }
 
 func newSession(k lockproto.Key) *session {
-	return &session{key: k, release: make(chan struct{})}
+	return &session{key: k, start: time.Now(), release: make(chan struct{})}
 }
 
 // finishRelease signals the manager to free the critical section (or to
@@ -587,7 +602,8 @@ func (m *dinerMgr) run() {
 			// the critical section — the crash just evicted it from the
 			// dining layer, which we have now re-won. No second registry
 			// transition, no second grant journal record.
-			m.srv.regranted.Add(1)
+			m.srv.m.regranted.Inc()
+			m.srv.m.held.Add(1)
 			select {
 			case <-ses.release:
 				// Released (or janitor-expired) while we were re-winning:
@@ -614,7 +630,9 @@ func (m *dinerMgr) run() {
 			// the grant — an acknowledged critical section that a crash
 			// forgets would be re-granted on recovery.
 			m.srv.dur.barrier()
-			m.srv.granted.Add(1)
+			m.srv.m.granted.Inc()
+			m.srv.m.held.Add(1)
+			m.srv.m.grantLat.ObserveDuration(time.Since(ses.start))
 			ses.markGranted(lockproto.Event{
 				Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: m.srv.now(),
 			})
@@ -630,7 +648,8 @@ func (m *dinerMgr) run() {
 			m.srv.inFlight.Add(-1)
 			return
 		}
-		m.srv.released.Add(1)
+		m.srv.m.released.Inc()
+		m.srv.m.held.Add(-1)
 		// Same durability rule as the grant: the release record must not be
 		// lost once the client has seen the ack, or recovery would resurrect
 		// a finished session.
@@ -650,6 +669,12 @@ func (m *dinerMgr) run() {
 // feed's own mutex makes snapshot-plus-subscribe atomic against it.
 type suspectFeed struct {
 	inst string
+
+	// Churn counters, assigned once by newServer before the runtime starts
+	// (nil-safe: a feed built outside a server just skips them).
+	suspects *metrics.Counter
+	trusts   *metrics.Counter
+	droppedC *metrics.Counter
 
 	mu      sync.Mutex
 	cur     map[[2]int]bool
@@ -677,6 +702,11 @@ func (f *suspectFeed) Trace(r rt.Record) {
 		Suspect: r.Kind == "suspect",
 		T:       int64(r.T),
 	}
+	if ev.Suspect {
+		f.suspects.Inc()
+	} else {
+		f.trusts.Inc()
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if ev.Suspect {
@@ -689,6 +719,7 @@ func (f *suspectFeed) Trace(r rt.Record) {
 		case ch <- ev:
 		default:
 			f.dropped++
+			f.droppedC.Inc()
 		}
 	}
 }

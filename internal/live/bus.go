@@ -3,6 +3,7 @@ package live
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rt"
@@ -28,13 +29,31 @@ type Bus interface {
 	Close() error
 }
 
+// BusStats is the delivery-counter view a bus can expose for observability:
+// how many messages it handed onward, ate, duplicated, or delayed. Buses
+// that keep these counters implement StatsSource; consumers (dineserve's
+// metrics registry) sample them at scrape time, so the counters must be
+// cheap enough to maintain on every Send.
+type BusStats struct {
+	Delivered int64 // messages handed to the delivery sink / inner bus
+	Dropped   int64 // messages eaten (loss, unroutable peer, encode failure)
+	Duped     int64 // extra deliveries injected by a fault plan
+	Delayed   int64 // deliveries the fault plan held back before forwarding
+}
+
+// StatsSource is implemented by buses that maintain BusStats counters.
+type StatsSource interface {
+	BusStats() BusStats
+}
+
 // ChanBus is the in-process bus: every process is local, and Send hands the
 // message straight to the runtime's delivery sink (which enqueues it on the
 // destination's mailbox — the channel hop every real message takes).
 type ChanBus struct {
-	mu      sync.RWMutex
-	deliver func(rt.Message)
-	closed  bool
+	mu        sync.RWMutex
+	deliver   func(rt.Message)
+	closed    bool
+	delivered atomic.Int64
 }
 
 // NewChanBus returns the in-process bus.
@@ -55,7 +74,13 @@ func (b *ChanBus) Send(m rt.Message) {
 	if closed || deliver == nil {
 		return
 	}
+	b.delivered.Add(1)
 	deliver(m)
+}
+
+// BusStats implements StatsSource.
+func (b *ChanBus) BusStats() BusStats {
+	return BusStats{Delivered: b.delivered.Load()}
 }
 
 // Close implements Bus.
@@ -152,6 +177,16 @@ func (b *LossyBus) Dropped() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.dropped
+}
+
+// BusStats implements StatsSource; inner-bus delivery counts fold in when
+// the inner bus keeps them.
+func (b *LossyBus) BusStats() BusStats {
+	st := BusStats{Dropped: b.Dropped()}
+	if src, ok := b.Inner.(StatsSource); ok {
+		st.Delivered = src.BusStats().Delivered
+	}
+	return st
 }
 
 // Close implements Bus.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rt"
 )
@@ -28,6 +29,9 @@ type TCPBus struct {
 	ln      net.Listener
 	closed  bool
 	wg      sync.WaitGroup
+
+	delivered atomic.Int64 // frames handed to the local delivery sink
+	dropped   atomic.Int64 // sends eaten: unroutable peer, encode or write failure
 }
 
 // peerConn is one TCP connection with serialized frame writes.
@@ -139,6 +143,7 @@ func (b *TCPBus) readLoop(pc *peerConn) {
 		deliver, isLocal := b.deliver, b.local[m.To]
 		b.mu.Unlock()
 		if isLocal && deliver != nil {
+			b.delivered.Add(1)
 			deliver(m)
 		}
 	}
@@ -156,20 +161,29 @@ func (b *TCPBus) Send(m rt.Message) {
 	}
 	if isLocal {
 		if deliver != nil {
+			b.delivered.Add(1)
 			deliver(m)
 		}
 		return
 	}
 	if route == nil {
+		b.dropped.Add(1)
 		return
 	}
 	body, err := EncodeMessage(m)
 	if err != nil {
+		b.dropped.Add(1)
 		return
 	}
 	if err := route.writeFrame(body); err != nil {
+		b.dropped.Add(1)
 		route.c.Close()
 	}
+}
+
+// BusStats implements StatsSource.
+func (b *TCPBus) BusStats() BusStats {
+	return BusStats{Delivered: b.delivered.Load(), Dropped: b.dropped.Load()}
 }
 
 // Close implements Bus.

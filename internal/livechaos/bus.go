@@ -52,9 +52,10 @@ type ChaosBus struct {
 	streams map[[2]rt.ProcID]*rand.Rand
 	closed  bool
 
-	dropped int64
-	duped   int64
-	delayed int64
+	dropped     int64
+	duped       int64
+	delayed     int64
+	partitioned int64 // drops attributable to an active lossy window
 }
 
 // NewChaosBus validates cfg.Plan and wraps inner. The plan clock starts
@@ -131,6 +132,9 @@ func (b *ChaosBus) Send(m rt.Message) {
 	}
 	if p := b.plan.DropProb(m.From, m.To, now); p > 0 && rng.Float64() < p {
 		b.dropped++
+		if b.plan.InWindow(m.From, m.To, now) {
+			b.partitioned++
+		}
 		b.mu.Unlock()
 		return
 	}
@@ -171,6 +175,29 @@ func (b *ChaosBus) Stats() (dropped, duped, delayed int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.dropped, b.duped, b.delayed
+}
+
+// BusStats implements live.StatsSource, folding in the inner bus's delivery
+// count when it keeps one; Dropped includes the partition-window share,
+// which Partitioned breaks out separately.
+func (b *ChaosBus) BusStats() live.BusStats {
+	b.mu.Lock()
+	st := live.BusStats{Dropped: b.dropped, Duped: b.duped, Delayed: b.delayed}
+	b.mu.Unlock()
+	if src, ok := b.inner.(live.StatsSource); ok {
+		st.Delivered = src.BusStats().Delivered
+	}
+	return st
+}
+
+// Partitioned reports how many of the dropped messages were eaten while
+// their link sat inside an active lossy window — the partition share of the
+// loss, which a convergence dashboard wants separated from steady-state
+// noise.
+func (b *ChaosBus) Partitioned() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.partitioned
 }
 
 // Close implements live.Bus.

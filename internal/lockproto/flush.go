@@ -44,6 +44,11 @@ type FlushWriter struct {
 	flushes       int64
 	flushedEvents int64
 	pendingEvents int64
+
+	// onFlush, if set, observes every socket write as it happens — the
+	// writer's registry hook, so coalescing telemetry is visible mid-run
+	// instead of only when the connection's Stats are folded at close.
+	onFlush func(events, bytes int64)
 }
 
 // NewFlushWriter starts a coalescing writer over w. maxBatch is the byte
@@ -143,6 +148,11 @@ func (f *FlushWriter) run() {
 		}
 
 		_, err := f.w.Write(batch)
+		if err == nil {
+			if hook := f.hook(); hook != nil {
+				hook(events, int64(len(batch)))
+			}
+		}
 		scratch = batch[:0]
 
 		f.mu.Lock()
@@ -175,6 +185,23 @@ func (f *FlushWriter) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.err
+}
+
+// OnFlush installs fn as the per-write observer: it is called once per
+// successful socket write with the number of events and bytes the write
+// carried. Install before traffic (fn is read under the writer's lock; a
+// cheap atomic-counter hook is the intended shape).
+func (f *FlushWriter) OnFlush(fn func(events, bytes int64)) {
+	f.mu.Lock()
+	f.onFlush = fn
+	f.mu.Unlock()
+}
+
+// hook reads the observer under the lock.
+func (f *FlushWriter) hook() func(events, bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.onFlush
 }
 
 // Stats reports (write calls, events written) so far — the coalescing

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders a registry two ways: the Prometheus text format
+// (`/metrics`, scrape-compatible with any Prometheus-speaking collector) and
+// a JSON snapshot (`/statusz`, consumed programmatically — e.g. dineload
+// scraping the server mid-run for the client-vs-server latency comparison).
+// Both walk the same sorted instrument list, so the two views always
+// enumerate the same series.
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format, sorted by name. Histograms emit cumulative non-empty buckets plus
+// +Inf, _sum and _count, with bucket bounds and sum scaled into the
+// registered unit.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.sorted() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+			return err
+		}
+		switch e.kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value()); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gaugeValue()); err != nil {
+				return err
+			}
+		case KindHist:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
+				return err
+			}
+			if err := writePromHist(w, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fmtFloat renders a float the shortest way that round-trips ("1e-06",
+// "0.000112"), matching what Prometheus itself emits for le bounds.
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func writePromHist(w io.Writer, e *entry) error {
+	h := e.hist
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(BucketUpper(i)) * e.scale
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, fmtFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	// The atomics are read individually, so count may run slightly ahead of
+	// the bucket walk under concurrent observes; clamp +Inf to stay
+	// cumulative-consistent within this scrape.
+	count := h.Count()
+	if count < cum {
+		count = cum
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		e.name, count, e.name, fmtFloat(float64(h.Sum())*e.scale), e.name, count)
+	return err
+}
+
+// HistSnapshot is one histogram's JSON view: count plus scaled sum, exact
+// max, and quantiles, so consumers get percentiles without reimplementing
+// the bucket scan.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is the JSON view of a whole registry.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]int64        `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"hists"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case KindCounter:
+			s.Counters[e.name] = e.counter.Value()
+		case KindGauge:
+			s.Gauges[e.name] = e.gaugeValue()
+		case KindHist:
+			h := e.hist
+			s.Hists[e.name] = HistSnapshot{
+				Count: h.Count(),
+				Sum:   float64(h.Sum()) * e.scale,
+				Max:   float64(h.Max()) * e.scale,
+				P50:   float64(h.Pct(50)) * e.scale,
+				P95:   float64(h.Pct(95)) * e.scale,
+				P99:   float64(h.Pct(99)) * e.scale,
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte-for-byte: series are
+// sorted by name, histograms emit cumulative non-empty buckets with scaled
+// le bounds plus +Inf/_sum/_count, floats render in Go 'g' form. A format
+// drift here breaks every scraper pointed at /metrics, so it must be a
+// deliberate change.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	// Register out of name order to prove exposition sorts.
+	r.GaugeFunc("demo_sampled", "a sampled value", func() int64 { return 5 })
+	h := r.Histogram("demo_lat_seconds", "grant latency", 1e-6)
+	r.Counter("demo_grants_total", "sessions granted").Add(42)
+	r.Gauge("demo_inflight", "sessions in flight").Set(7)
+	h.Observe(1)
+	h.Observe(100)
+	h.Observe(1000000)
+
+	const want = `# HELP demo_grants_total sessions granted
+# TYPE demo_grants_total counter
+demo_grants_total 42
+# HELP demo_inflight sessions in flight
+# TYPE demo_inflight gauge
+demo_inflight 7
+# HELP demo_lat_seconds grant latency
+# TYPE demo_lat_seconds histogram
+demo_lat_seconds_bucket{le="1e-06"} 1
+demo_lat_seconds_bucket{le="0.000112"} 2
+demo_lat_seconds_bucket{le="1.048576"} 3
+demo_lat_seconds_bucket{le="+Inf"} 3
+demo_lat_seconds_sum 1.000101
+demo_lat_seconds_count 3
+# HELP demo_sampled a sampled value
+# TYPE demo_sampled gauge
+demo_sampled 5
+`
+	var got strings.Builder
+	if err := r.WritePrometheus(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+}
+
+// TestSnapshotJSONRoundTrip: the JSON view must decode back into the shared
+// Snapshot type with values intact — the contract dineload's scrape relies
+// on.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "").Add(9)
+	r.Gauge("b", "").Set(-2)
+	h := r.Histogram("lat_seconds", "", 1e-6)
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i * 1000)) // 1ms..100ms in µs
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a_total"] != 9 || back.Gauges["b"] != -2 {
+		t.Fatalf("scalar values lost: %+v", back)
+	}
+	hs := back.Hists["lat_seconds"]
+	if hs.Count != 100 || hs.Max < 0.0999 || hs.Max > 0.1001 {
+		t.Fatalf("hist count/max lost: %+v", hs)
+	}
+	if hs.P50 < 0.05 || hs.P50 > 0.0625 {
+		t.Fatalf("p50 out of bucket range: %+v", hs)
+	}
+	if hs.P99 < 0.099 || hs.P99 > 0.125 {
+		t.Fatalf("p99 out of bucket range: %+v", hs)
+	}
+}

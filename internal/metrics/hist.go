@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a fixed-footprint log-scale histogram: 4 sub-buckets per
+// power-of-two octave, from 1 up past 2^40, generalized from the latency
+// histogram the load generator grew in PR 7 (cmd/dineload/hist.go). It
+// replaces store-every-sample recorders — under a long run at high
+// throughput those grow without bound and their end-of-run sort dominates
+// shutdown; the histogram is a few KiB forever, merging is bucket addition,
+// and percentiles come from a cumulative scan. Quantization error is
+// bounded by the sub-bucket width (≤ ~19% of the value), far below
+// run-to-run noise; the maximum is tracked exactly because tail spikes are
+// the one thing quantization would hide.
+//
+// Values are dimensionless non-negative int64s; the common case of
+// durations observes microseconds (ObserveDuration). All operations are
+// lock-free and alloc-free, so a Hist is safe to share between writers and
+// a concurrent scraper; like Counter, a nil *Hist ignores writes.
+type Hist struct {
+	counts [NumBuckets]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NumBuckets covers exponents 0..39 (1 to ~2^40) at 4 sub-buckets each —
+// for microseconds, 1µs to ~18 hours.
+const NumBuckets = 40 * 4
+
+// NewHist returns an empty histogram. (A Hist must not be copied once used;
+// hand out pointers.)
+func NewHist() *Hist { return &Hist{} }
+
+// bucketOf maps a value to its bucket: floor(log2(v)) picks the octave, the
+// next two bits below the leading one pick the quarter. Values ≤ 0 land in
+// the first bucket.
+func bucketOf(v int64) int {
+	u := uint64(v)
+	if v <= 0 {
+		u = 1
+	}
+	exp := uint(bits.Len64(u) - 1)
+	var sub uint64
+	if exp >= 2 {
+		sub = (u >> (exp - 2)) & 3
+	} else {
+		sub = (u << (2 - exp)) & 3
+	}
+	idx := int(exp)*4 + int(sub)
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpper is the inclusive upper bound of a bucket, the value
+// percentiles report: (5+sub)/4 × 2^exp — a pessimistic
+// (never-underestimating) representative.
+func BucketUpper(idx int) int64 {
+	exp := uint(idx / 4)
+	sub := uint64(idx % 4)
+	return int64(((5 + sub) << exp) / 4)
+}
+
+// Observe records one value (lock-free, alloc-free).
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration as microseconds.
+func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Hist) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the exact maximum observed value (0 if empty).
+func (h *Hist) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Merge folds another histogram in (e.g. per-client results into a total).
+// Not atomic as a whole: concurrent observes on o may be split across the
+// two histograms, which every caller merging finished shards accepts.
+func (h *Hist) Merge(o *Hist) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.n.Add(o.n.Load())
+	h.sum.Add(o.sum.Load())
+	for m := o.max.Load(); ; {
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			break
+		}
+	}
+}
+
+// Pct returns the p-th percentile (0–100) as the owning bucket's upper
+// bound, clamped by the exact maximum; the exact maximum for p ≥ 100 or
+// when the scan runs off the end. 0 if empty.
+func (h *Hist) Pct(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	max := h.max.Load()
+	rank := int64(p / 100 * float64(n))
+	if rank >= n {
+		return max
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			u := BucketUpper(i)
+			if u > max {
+				return max // the top bucket's bound can overshoot the real max
+			}
+			return u
+		}
+	}
+	return max
+}
+
+// PctDuration is Pct for histograms observing microseconds.
+func (h *Hist) PctDuration(p float64) time.Duration {
+	return time.Duration(h.Pct(p)) * time.Microsecond
+}
+
+// MaxDuration is Max for histograms observing microseconds.
+func (h *Hist) MaxDuration() time.Duration {
+	return time.Duration(h.Max()) * time.Microsecond
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistPercentiles checks the histogram's percentiles against exact
+// order statistics on a log-uniform sample: each reported percentile must
+// be ≥ the true one (buckets report upper bounds) and within one sub-bucket
+// width (25%) of it, and the max must be exact.
+func TestHistPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHist()
+	var exact []time.Duration
+	for i := 0; i < 20000; i++ {
+		us := 1 << uint(rng.Intn(20)) // 1µs..~1s octaves
+		d := time.Duration(us+rng.Intn(us)) * time.Microsecond
+		h.ObserveDuration(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{50, 95, 99} {
+		got := h.PctDuration(p)
+		want := exact[int(p/100*float64(len(exact)))]
+		if got < want {
+			t.Errorf("p%.0f: histogram %v under exact %v", p, got, want)
+		}
+		if float64(got) > float64(want)*1.25+float64(time.Microsecond) {
+			t.Errorf("p%.0f: histogram %v over exact %v by more than a sub-bucket", p, got, want)
+		}
+	}
+	if h.PctDuration(100) != exact[len(exact)-1] || h.MaxDuration() != exact[len(exact)-1] {
+		t.Errorf("max: got %v/%v want %v", h.PctDuration(100), h.MaxDuration(), exact[len(exact)-1])
+	}
+}
+
+// TestHistMerge: merging per-client histograms must equal one histogram fed
+// every sample — same counts, count, sum, and max.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	whole := NewHist()
+	parts := make([]*Hist, 4)
+	for i := range parts {
+		parts[i] = NewHist()
+	}
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1e6)) * time.Microsecond
+		whole.ObserveDuration(d)
+		parts[i%4].ObserveDuration(d)
+	}
+	merged := NewHist()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if merged.counts[i].Load() != whole.counts[i].Load() {
+			t.Fatalf("bucket %d diverged: merged %d whole %d", i, merged.counts[i].Load(), whole.counts[i].Load())
+		}
+	}
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() || merged.Max() != whole.Max() {
+		t.Fatalf("merge diverged: count %d/%d sum %d/%d max %d/%d",
+			merged.Count(), whole.Count(), merged.Sum(), whole.Sum(), merged.Max(), whole.Max())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if merged.Pct(p) != whole.Pct(p) {
+			t.Fatalf("p%.0f diverged: merged %d whole %d", p, merged.Pct(p), whole.Pct(p))
+		}
+	}
+}
+
+// TestHistEdges pins the degenerate inputs: zero samples, zero duration,
+// and a value past the last octave must all stay in range.
+func TestHistEdges(t *testing.T) {
+	h := NewHist()
+	if h.Pct(50) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	h.ObserveDuration(0)
+	h.ObserveDuration(300 * time.Hour) // beyond the last bucket: clamps, max still exact
+	if h.PctDuration(100) != 300*time.Hour {
+		t.Fatalf("max lost: %v", h.PctDuration(100))
+	}
+	if got := h.PctDuration(0); got <= 0 || got > 2*time.Microsecond {
+		t.Fatalf("p0 of a 0s sample: %v", got)
+	}
+}
+
+// TestHistNil: a nil histogram ignores writes and reads zero, the contract
+// optional instrumentation hooks rely on.
+func TestHistNil(t *testing.T) {
+	var h *Hist
+	h.Observe(5)
+	h.Merge(NewHist())
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Pct(99) != 0 {
+		t.Fatal("nil histogram must read zero")
+	}
+}
+
+// TestBucketMonotone: the bucket mapping must be monotone in the value and
+// every bucket's upper bound must actually bound its members.
+func TestBucketMonotone(t *testing.T) {
+	prev := 0
+	for v := int64(1); v < 1<<22; v = v*5/4 + 1 {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucket regressed at %d: %d < %d", v, idx, prev)
+		}
+		if u := BucketUpper(idx); u < v {
+			t.Fatalf("upper bound %d below member %d", u, v)
+		}
+		prev = idx
+	}
+}

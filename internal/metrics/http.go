@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	/metrics — Prometheus text exposition (curl-able, collector-compatible)
+//	/statusz — JSON Snapshot (programmatic consumers, e.g. dineload's
+//	           mid-run scrape)
+//
+// Scrapes are read-only and safe concurrently with writers, so the handler
+// can sit on any mux — dineserve gives it a dedicated listener (-metrics) to
+// keep observability traffic off the service port.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	return mux
+}

@@ -200,6 +200,20 @@ func (lp *LinkPlan) DropProb(from, to ProcID, now Time) float64 {
 	return p
 }
 
+// InWindow reports whether any lossy window of the plan covers link
+// from->to at the given time — i.e. whether the link is currently inside a
+// transient partition era. Exported so wall-clock consumers (livechaos) can
+// attribute a drop to a partition window for their telemetry, with exactly
+// the window semantics DropProb applies.
+func (lp *LinkPlan) InWindow(from, to ProcID, now Time) bool {
+	for _, w := range lp.Windows {
+		if w.matches(from, to, now) {
+			return true
+		}
+	}
+	return false
+}
+
 // DupProb returns the duplication probability for link from->to.
 func (lp *LinkPlan) DupProb(from, to ProcID) float64 {
 	for _, f := range lp.Links {

@@ -83,6 +83,14 @@ type Options struct {
 	// Interval is the background fsync cadence under PolicyInterval
 	// (default 50ms).
 	Interval time.Duration
+	// OnSync, if set, observes every fsync the store issues: how many
+	// records the call made durable (the group-commit batch) and how long
+	// the fsync took. It is the store's registry hook — callers wire it to
+	// their metrics instruments instead of the store keeping ad-hoc
+	// counters. Called from whichever goroutine synced, sometimes with
+	// store locks held: it must be cheap, concurrency-safe, and must not
+	// call back into the store.
+	OnSync func(records int64, d time.Duration)
 }
 
 // LSN identifies a record by its 1-based append position. LSNs are global
@@ -162,7 +170,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		}
 	}
 	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] }) // newest first
-	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })   // oldest first
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })    // oldest first
 
 	rec := &Recovered{}
 	// The newest snapshot that validates wins; a corrupt one (torn write
@@ -315,7 +323,7 @@ func (s *Store) flusher() {
 			s.mu.Unlock()
 			return
 		}
-		buf, target, f := s.pending, s.appended, s.f
+		buf, target, f, prevDurable := s.pending, s.appended, s.f, s.durable
 		s.pending = nil
 		s.inflight++
 		s.mu.Unlock()
@@ -323,7 +331,11 @@ func (s *Store) flusher() {
 		_, werr := f.Write(buf)
 		var serr error
 		if werr == nil && s.opts.Policy == PolicyAlways {
+			t0 := time.Now()
 			serr = f.Sync()
+			if serr == nil {
+				s.observeSync(target-prevDurable, time.Since(t0))
+			}
 		}
 
 		s.mu.Lock()
@@ -360,10 +372,14 @@ func (s *Store) syncLoop() {
 			s.mu.Unlock()
 			continue
 		}
-		f, target := s.f, s.written
+		f, target, prevDurable := s.f, s.written, s.durable
 		s.inflight++
 		s.mu.Unlock()
+		t0 := time.Now()
 		err := f.Sync()
+		if err == nil {
+			s.observeSync(target-prevDurable, time.Since(t0))
+		}
 		s.mu.Lock()
 		s.inflight--
 		if err == nil && target > s.durable {
@@ -406,10 +422,13 @@ func (s *Store) rotate() (uint64, error) {
 		s.written = s.appended
 	}
 	if s.opts.Policy != PolicyNever {
+		prevDurable := s.durable
+		t0 := time.Now()
 		if err := s.f.Sync(); err != nil {
 			s.err = err
 			return 0, err
 		}
+		s.observeSync(s.written-prevDurable, time.Since(t0))
 		s.durable = s.written
 	}
 	gen := s.nextGen
@@ -511,9 +530,12 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err == nil && s.opts.Policy != PolicyNever {
+		prevDurable := s.durable
+		t0 := time.Now()
 		if err := s.f.Sync(); err != nil {
 			s.err = err
 		} else {
+			s.observeSync(s.written-prevDurable, time.Since(t0))
 			s.durable = s.written
 		}
 	}
@@ -522,6 +544,15 @@ func (s *Store) Close() error {
 	}
 	s.cond.Broadcast()
 	return s.err
+}
+
+// observeSync forwards one completed fsync to the OnSync hook, if any:
+// records is the group-commit batch the call made durable (0 when the store
+// re-synced an already-durable tail, e.g. at rotate or close).
+func (s *Store) observeSync(records LSN, d time.Duration) {
+	if s.opts.OnSync != nil {
+		s.opts.OnSync(int64(records), d)
+	}
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.

@@ -1,36 +1,114 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — boot dineserve on an ephemeral loopback port, hammer it
 # with a short dineload burst, then SIGINT the server and assert that (a) the
-# load run saw no errors, and (b) the server's ◇WX exclusion checker came
-# back clean over the whole run. Used by `make serve-smoke` and CI.
+# load run saw no errors, (b) a mid-load /metrics scrape exposes the key
+# series and shows the counters moving, (c) the session accounting conserves
+# (granted + regranted == released + held) once the load stops, and (d) the
+# server's ◇WX exclusion checker came back clean over the whole run. Used by
+# `make serve-smoke` and CI; set METRICS_OUT to keep the final JSON snapshot
+# (CI uploads it as an artifact).
 set -u
 
 CLIENTS="${CLIENTS:-64}"
 DURATION="${DURATION:-5s}"
 BIN="${BIN:-bin}"
+METRICS_OUT="${METRICS_OUT:-}"
 LOG="$(mktemp -d)"
 trap 'rm -rf "$LOG"' EXIT
 
-"$BIN/dineserve" -addr 127.0.0.1:0 >"$LOG/serve.log" 2>&1 &
+# fetch URL > file, portable across curl/wget.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -o "$2" "$1"
+    else
+        wget -q -O "$2" "$1"
+    fi
+}
+
+"$BIN/dineserve" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 >"$LOG/serve.log" 2>&1 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
 
-# Wait for the listen line and pull the actual address out of it.
+# Wait for the listen line and pull the actual addresses out of it. The
+# metrics line prints first, so both greps anchor on their own line.
 ADDR=""
+METRICS_URL=""
 for _ in $(seq 100); do
-    ADDR=$(grep -o '127\.0\.0\.1:[0-9]*' "$LOG/serve.log" 2>/dev/null | head -1)
-    [ -n "$ADDR" ] && break
+    ADDR=$(sed -n 's/^dineserve: listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG/serve.log" 2>/dev/null | head -1)
+    METRICS_URL=$(sed -n 's#^dineserve: metrics on \(http://[0-9.:]*\)/metrics$#\1#p' "$LOG/serve.log" 2>/dev/null | head -1)
+    [ -n "$ADDR" ] && [ -n "$METRICS_URL" ] && break
     sleep 0.1
 done
-if [ -z "$ADDR" ]; then
-    echo "serve-smoke: dineserve never started listening" >&2
+if [ -z "$ADDR" ] || [ -z "$METRICS_URL" ]; then
+    echo "serve-smoke: dineserve never started listening (addr='$ADDR' metrics='$METRICS_URL')" >&2
     cat "$LOG/serve.log" >&2
     exit 1
 fi
-echo "serve-smoke: dineserve up on $ADDR, running $CLIENTS clients for $DURATION"
+echo "serve-smoke: dineserve up on $ADDR (metrics $METRICS_URL), running $CLIENTS clients for $DURATION"
 
-"$BIN/dineload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION"
+"$BIN/dineload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" -scrape "$METRICS_URL" &
+LOAD_PID=$!
+
+# Mid-load scrape: the key series must exist and the grant counter must be
+# moving while traffic is in flight.
+sleep 2
+if ! fetch "$METRICS_URL/metrics" "$LOG/metrics_mid.txt"; then
+    echo "serve-smoke: FAIL — mid-load /metrics scrape failed" >&2
+    kill "$LOAD_PID" 2>/dev/null
+    exit 1
+fi
+for series in \
+    dineserve_sessions_granted_total \
+    dineserve_sessions_held \
+    dineserve_grant_latency_seconds_count \
+    dineserve_wire_writes_total \
+    dineserve_suspect_transitions_total \
+    dineserve_rt_steps \
+    dineserve_bus_delivered_total; do
+    if ! grep -q "^$series " "$LOG/metrics_mid.txt"; then
+        echo "serve-smoke: FAIL — series $series missing from mid-load scrape" >&2
+        kill "$LOAD_PID" 2>/dev/null
+        exit 1
+    fi
+done
+MID_GRANTED=$(awk '$1=="dineserve_sessions_granted_total"{print $2}' "$LOG/metrics_mid.txt")
+if [ "${MID_GRANTED:-0}" -le 0 ]; then
+    echo "serve-smoke: FAIL — no grants visible mid-load (granted_total=$MID_GRANTED)" >&2
+    kill "$LOAD_PID" 2>/dev/null
+    exit 1
+fi
+echo "serve-smoke: mid-load scrape OK ($MID_GRANTED grants so far)"
+
+wait "$LOAD_PID"
 LOAD_EXIT=$?
+
+# Conservation at drain: every grant is either released or still held. The
+# counter pair and the gauge are updated adjacently but not atomically, so
+# allow a couple of re-scrapes for an in-flight transition to settle.
+CONSERVED=0
+for _ in 1 2 3; do
+    sleep 0.5
+    fetch "$METRICS_URL/metrics" "$LOG/metrics_final.txt" || continue
+    GRANTED=$(awk '$1=="dineserve_sessions_granted_total"{print $2}' "$LOG/metrics_final.txt")
+    REGRANTED=$(awk '$1=="dineserve_sessions_regranted_total"{print $2}' "$LOG/metrics_final.txt")
+    RELEASED=$(awk '$1=="dineserve_sessions_released_total"{print $2}' "$LOG/metrics_final.txt")
+    HELD=$(awk '$1=="dineserve_sessions_held"{print $2}' "$LOG/metrics_final.txt")
+    if [ "$((GRANTED + REGRANTED))" -eq "$((RELEASED + HELD))" ]; then
+        CONSERVED=1
+        break
+    fi
+done
+if [ "$CONSERVED" -ne 1 ]; then
+    echo "serve-smoke: FAIL — session accounting does not conserve: granted=$GRANTED regranted=$REGRANTED released=$RELEASED held=$HELD" >&2
+    exit 1
+fi
+echo "serve-smoke: conservation OK (granted=$GRANTED regranted=$REGRANTED released=$RELEASED held=$HELD)"
+
+fetch "$METRICS_URL/statusz" "$LOG/statusz.json" || true
+if [ -n "$METRICS_OUT" ] && [ -s "$LOG/statusz.json" ]; then
+    cp "$LOG/statusz.json" "$METRICS_OUT"
+    echo "serve-smoke: metrics snapshot saved to $METRICS_OUT"
+fi
 
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
