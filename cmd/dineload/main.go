@@ -17,6 +17,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 
-	diners, err := probe(*addr, *opTO)
+	diners, tables, err := probe(*addr, *opTO)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dineload: cannot reach server: %v\n", err)
 		os.Exit(1)
@@ -78,7 +80,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runClient(prefix, i, *addr, diners, deadline, *hold, *opTO)
+			results[i] = runClient(prefix, i, *addr, diners, tables, deadline, *hold, *opTO)
 		}(i)
 	}
 	wg.Wait()
@@ -86,6 +88,7 @@ func main() {
 
 	lat := metrics.NewHist()
 	sessions, errs, reconns, abandoned, dblGrants := 0, 0, 0, 0, 0
+	perTable := make([]int, tables)
 	for i := range results {
 		res := &results[i]
 		sessions += res.sessions
@@ -93,13 +96,30 @@ func main() {
 		reconns += res.reconnects
 		abandoned += res.abandoned
 		dblGrants += res.doubleGrants
+		for t, n := range res.perTable {
+			perTable[t] += n
+		}
 		lat.Merge(res.lat)
 	}
 	elapsed := *duration
 	rate := float64(sessions) / elapsed.Seconds()
-	fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
+	if tables > 1 {
+		fmt.Printf("dineload: %d clients for %v against %s (%d diners over %d tables)\n", *clients, *duration, *addr, diners, tables)
+	} else {
+		fmt.Printf("dineload: %d clients for %v against %s (%d diners)\n", *clients, *duration, *addr, diners)
+	}
 	fmt.Printf("dineload: %d sessions, %.1f/s, errors: %d, reconnects: %d, abandoned: %d, double-grants: %d\n",
 		sessions, rate, errs, reconns, abandoned, dblGrants)
+	if tables > 1 {
+		// Per-table completion counts, derived client-side from the same
+		// pinned hash the server routes with — a table sitting at zero here
+		// means its shard served nothing, however healthy the total looks.
+		line := "dineload: sessions per table:"
+		for t, n := range perTable {
+			line += fmt.Sprintf(" table-%d=%d", t, n)
+		}
+		fmt.Println(line)
+	}
 	if lat.Count() > 0 {
 		fmt.Printf("dineload: acquire latency p50=%v p95=%v p99=%v max=%v\n",
 			lat.PctDuration(50), lat.PctDuration(95), lat.PctDuration(99), lat.MaxDuration())
@@ -108,17 +128,40 @@ func main() {
 		if snap := <-scrapeCh; snap != nil {
 			// The server observes acquire-received → grant-sent; the client
 			// observes request-sent → grant-received. The gap between the two
-			// is the wire plus the client's own scheduling.
-			hs, ok := snap.Hists["dineserve_grant_latency_seconds"]
-			if !ok {
-				fmt.Fprintln(os.Stderr, "dineload: scrape: server exposes no dineserve_grant_latency_seconds")
+			// is the wire plus the client's own scheduling. A sharded server
+			// exposes one labeled histogram per table under the same base
+			// name, so match by prefix and report each series.
+			const histBase = "dineserve_grant_latency_seconds"
+			var names []string
+			for name := range snap.Hists {
+				if name == histBase || strings.HasPrefix(name, histBase+"{") {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			if len(names) == 0 {
+				fmt.Fprintln(os.Stderr, "dineload: scrape: server exposes no "+histBase)
 			} else {
 				sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
-				fmt.Printf("dineload: server-side grant latency (mid-run, %d grants) p50=%v p95=%v p99=%v max=%v\n",
-					hs.Count, sec(hs.P50), sec(hs.P95), sec(hs.P99), sec(hs.Max))
-				if lat.Count() > 0 && hs.Count > 0 {
-					fmt.Printf("dineload: client-vs-server p50 gap: %v (wire + client scheduling)\n",
-						lat.PctDuration(50)-sec(hs.P50))
+				if len(names) == 1 {
+					hs := snap.Hists[names[0]]
+					fmt.Printf("dineload: server-side grant latency (mid-run, %d grants) p50=%v p95=%v p99=%v max=%v\n",
+						hs.Count, sec(hs.P50), sec(hs.P95), sec(hs.P99), sec(hs.Max))
+					if lat.Count() > 0 && hs.Count > 0 {
+						fmt.Printf("dineload: client-vs-server p50 gap: %v (wire + client scheduling)\n",
+							lat.PctDuration(50)-sec(hs.P50))
+					}
+				} else {
+					var total int64
+					for _, name := range names {
+						total += snap.Hists[name].Count
+					}
+					fmt.Printf("dineload: server-side grant latency (mid-run, %d grants over %d tables):\n", total, len(names))
+					for _, name := range names {
+						hs := snap.Hists[name]
+						fmt.Printf("dineload:   %s p50=%v p95=%v p99=%v max=%v (%d grants)\n",
+							name[len(histBase):], sec(hs.P50), sec(hs.P95), sec(hs.P99), sec(hs.Max), hs.Count)
+					}
 				}
 			}
 		}
@@ -156,25 +199,30 @@ func scrapeStatusz(base string, timeout time.Duration) (*metrics.Snapshot, error
 	return &snap, nil
 }
 
-// probe asks the server for its diner count.
-func probe(addr string, timeout time.Duration) (int, error) {
+// probe asks the server for its diner and table counts. A pre-sharding
+// server omits the tables field; treat that as one table.
+func probe(addr string, timeout time.Duration) (int, int, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer c.Close()
 	c.SetDeadline(time.Now().Add(timeout))
 	if err := lockproto.WriteRequest(c, &lockproto.Request{Op: lockproto.OpInfo}); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var ev lockproto.Event
 	if err := lockproto.NewEventReader(c).Read(&ev); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if ev.Ev != lockproto.EvInfo || ev.Diners < 1 {
-		return 0, fmt.Errorf("unexpected info reply %+v", ev)
+		return 0, 0, fmt.Errorf("unexpected info reply %+v", ev)
 	}
-	return ev.Diners, nil
+	tables := ev.Tables
+	if tables < 1 {
+		tables = 1
+	}
+	return ev.Diners, tables, nil
 }
 
 // watchSuspects counts suspect-stream events until done closes.
@@ -205,6 +253,7 @@ func watchSuspects(addr string, n *atomic.Int64, done <-chan struct{}) {
 
 type clientResult struct {
 	sessions   int
+	perTable   []int // sessions per server table (lockproto.TableOf of the diner)
 	errors     int
 	reconnects int
 	abandoned  int // sessions lost to lease expiry while disconnected
@@ -238,10 +287,13 @@ type client struct {
 	conn net.Conn
 	er   *lockproto.EventReader
 	res  clientResult
-	// done holds every session id this client has finished with (released,
-	// or reclaimed by the server). A grant arriving for one of them can only
-	// mean the server re-entered a dead session's critical section.
-	done map[string]bool
+	// done holds every session this client has finished with (released, or
+	// reclaimed by the server), keyed exactly as the server's registry keys
+	// them: (diner, id). A grant arriving for one of them can only mean the
+	// server re-entered a dead session's critical section — and on a sharded
+	// server two tables could legitimately run same-named ids for different
+	// diners, so the id alone is not identity.
+	done map[lockproto.Key]bool
 }
 
 // reconnect (re)establishes the connection, backing off 50ms→2s between
@@ -293,7 +345,7 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 				}
 				break // replay
 			}
-			if ev.Ev == lockproto.EvGranted && cl.done[ev.ID] {
+			if ev.Ev == lockproto.EvGranted && cl.done[lockproto.Key{Diner: ev.Diner, ID: ev.ID}] {
 				cl.res.doubleGrants++
 				cl.res.errors++
 			}
@@ -326,9 +378,10 @@ func (cl *client) exchange(req lockproto.Request, wantEv string) xResult {
 
 // runClient loops acquire → hold → release until the deadline, surviving
 // connection resets: a single dial or read error no longer ends the client.
-func runClient(prefix string, id int, addr string, diners int, deadline time.Time, hold, opTO time.Duration) clientResult {
-	cl := &client{addr: addr, deadline: deadline, opTO: opTO, done: make(map[string]bool)}
+func runClient(prefix string, id int, addr string, diners, tables int, deadline time.Time, hold, opTO time.Duration) clientResult {
+	cl := &client{addr: addr, deadline: deadline, opTO: opTO, done: make(map[lockproto.Key]bool)}
 	cl.res.lat = metrics.NewHist()
+	cl.res.perTable = make([]int, tables)
 	defer func() {
 		if cl.conn != nil {
 			cl.conn.Close()
@@ -338,19 +391,19 @@ func runClient(prefix string, id int, addr string, diners int, deadline time.Tim
 
 	for seq := 0; time.Now().Before(deadline); seq++ {
 		diner := rng.Intn(diners)
-		sid := fmt.Sprintf("%s-c%d-%d", prefix, id, seq)
+		key := lockproto.Key{Diner: diner, ID: fmt.Sprintf("%s-c%d-%d", prefix, id, seq)}
 		start := time.Now()
-		switch cl.exchange(lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: sid}, lockproto.EvGranted) {
+		switch cl.exchange(lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: key.ID}, lockproto.EvGranted) {
 		case xStop:
 			return cl.res
 		case xAbandon:
-			cl.done[sid] = true // server reclaimed it: any later grant is bogus
+			cl.done[key] = true // server reclaimed it: any later grant is bogus
 			continue
 		}
 		cl.res.lat.ObserveDuration(time.Since(start))
 		time.Sleep(hold)
-		rel := cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: sid}, lockproto.EvReleased)
-		cl.done[sid] = true
+		rel := cl.exchange(lockproto.Request{Op: lockproto.OpRelease, Diner: diner, ID: key.ID}, lockproto.EvReleased)
+		cl.done[key] = true
 		switch rel {
 		case xStop:
 			return cl.res
@@ -358,6 +411,7 @@ func runClient(prefix string, id int, addr string, diners int, deadline time.Tim
 			continue
 		}
 		cl.res.sessions++
+		cl.res.perTable[lockproto.TableOf(diner, tables)]++
 	}
 	return cl.res
 }

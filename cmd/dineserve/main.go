@@ -1,19 +1,23 @@
 // Command dineserve exposes wait-free dining under eventual weak exclusion
-// as a networked lock/session service. It hosts N diners on the live runtime
-// (internal/live), arbitrated by the forks algorithm over a heartbeat ◇P;
-// clients acquire and release eating sessions over TCP (newline-delimited
-// JSON, see internal/lockproto — a plain `nc` session works). Alongside the
-// served table, the paper's reduction (internal/core) runs the full ◇P
-// extraction over the same process set, and clients can stream its suspect
-// output live with the watch op.
+// as a networked lock/session service. All of the actual machinery lives in
+// internal/dinesvc — the embeddable service kernel hosting N diners over
+// -tables independent dining tables, arbitrated by the forks algorithm over
+// a heartbeat ◇P; clients acquire and release eating sessions over TCP
+// (newline-delimited JSON, see internal/lockproto — a plain `nc` session
+// works). Alongside each served table, the paper's reduction
+// (internal/core) runs the full ◇P extraction over the same process set,
+// and clients can stream its suspect output live with the watch op.
 //
-// On SIGINT the server drains: new acquires are refused, granted sessions
-// run to completion (bounded by -drain), and the whole run's trace is then
-// validated by the ◇WX checker. The exit status reports the verdict, which
-// is what `make serve-smoke` asserts.
+// This file is only the shell: flag parsing, HTTP side-listeners (pprof,
+// metrics), signal handling, and exit-status policy. On SIGINT the service
+// drains: new acquires are refused, granted sessions run to completion
+// (bounded by -drain), and every table's trace is then validated by the ◇WX
+// checker. The exit status reports the verdict, which is what
+// `make serve-smoke` asserts.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -24,27 +28,19 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/checker"
-	"repro/internal/core"
-	"repro/internal/detector"
-	"repro/internal/dining/forks"
-	"repro/internal/graph"
-	"repro/internal/live"
-	"repro/internal/lockproto"
+	"repro/internal/dinesvc"
 	"repro/internal/metrics"
-	"repro/internal/rt"
-	"repro/internal/trace"
-	"repro/internal/wal"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7117", "listen address (use :0 for an ephemeral port)")
 		n         = flag.Int("n", 5, "number of diners")
-		topology  = flag.String("topology", "ring", "conflict graph: ring or clique")
+		tables    = flag.Int("tables", 1, "independent dining tables to shard the diners over")
+		topology  = flag.String("topology", "ring", "per-table conflict graph: ring or clique")
 		tick      = flag.Duration("tick", time.Millisecond, "wall-clock duration of one protocol tick")
 		hbTimeout = flag.Int("hb-timeout", 600, "initial heartbeat suspicion timeout, in ticks")
-		extract   = flag.Bool("extract", true, "run the ◇P extraction alongside the served table (feeds the watch stream)")
+		extract   = flag.Bool("extract", true, "run the ◇P extraction alongside each served table (feeds the watch stream)")
 		drain     = flag.Duration("drain", 10*time.Second, "how long SIGINT waits for in-flight sessions")
 		lease     = flag.Duration("lease", 30*time.Second, "how long a disconnected client's session survives before forced release (0: forever)")
 		maxInFl   = flag.Int64("max-inflight", 4096, "max concurrent sessions before new acquires are shed with \"overloaded\" (0: unlimited)")
@@ -57,132 +53,14 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "WAL+snapshot directory; empty disables persistence")
 		fsync      = flag.String("fsync", "always", "WAL durability: always (fsync per commit), interval, or never")
 		fsyncEvery = flag.Duration("fsync-interval", 50*time.Millisecond, "background fsync cadence under -fsync interval")
-		snapRecs   = flag.Int64("snap-records", 4096, "cut a snapshot after this many WAL records")
+		snapRecs   = flag.Int64("snap-records", 4096, "cut a snapshot after this many WAL records, per table")
 
 		chaosCrash   = flag.Int("chaos-crash", -1, "diner to crash and restart once (chaos injection; -1: none)")
 		chaosCrashAt = flag.Duration("chaos-crash-at", 2*time.Second, "when after startup the chaos crash fires")
 		chaosRestart = flag.Duration("chaos-restart-after", 500*time.Millisecond, "crash-to-restart gap (must exceed the bus's max delay)")
 	)
 	flag.Parse()
-	if *n < 2 {
-		fmt.Fprintln(os.Stderr, "dineserve: -n must be at least 2")
-		os.Exit(2)
-	}
 
-	var g *graph.Graph
-	switch *topology {
-	case "ring":
-		g = graph.Ring(*n)
-	case "clique":
-		g = graph.Clique(*n)
-	default:
-		fmt.Fprintf(os.Stderr, "dineserve: unknown -topology %q\n", *topology)
-		os.Exit(2)
-	}
-
-	leaseTicks := int64(0)
-	if *lease > 0 {
-		leaseTicks = int64(*lease / *tick)
-	}
-
-	// The instrument inventory exists before everything else so recovery,
-	// the WAL, and the runtime can be born instrumented. Instruments are
-	// always live; -metrics only decides whether an HTTP listener shows them.
-	m := newServerMetrics()
-
-	// Recovery happens before anything else exists: the WAL decides the
-	// session registry, the fork seeding, and the clock base the rest of the
-	// boot builds on.
-	sessions := lockproto.NewSessions(leaseTicks)
-	var dur *durable
-	var recovered *lockproto.Recovered
-	clockBase := int64(0)
-	if *dataDir != "" {
-		pol, err := wal.ParsePolicy(*fsync)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dineserve: %v\n", err)
-			os.Exit(2)
-		}
-		store, walRec, err := wal.Open(*dataDir, wal.Options{
-			Policy: pol, Interval: *fsyncEvery,
-			OnSync: func(records int64, d time.Duration) {
-				m.walFsyncs.Inc()
-				m.walFsyncLat.ObserveDuration(d)
-				if records > 0 {
-					m.walBatch.Observe(records)
-				}
-			},
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dineserve: wal: %v\n", err)
-			os.Exit(1)
-		}
-		recovered, err = lockproto.Replay(leaseTicks, walRec.Snapshot, walRec.Records)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dineserve: wal replay: %v\n", err)
-			os.Exit(1)
-		}
-		if len(recovered.Violations) > 0 {
-			// The ledger proves the pre-crash run broke safety; refusing to
-			// serve from it beats laundering the violation into a new run.
-			for _, v := range recovered.Violations {
-				fmt.Fprintf(os.Stderr, "dineserve: ledger violation: %s\n", v)
-			}
-			os.Exit(1)
-		}
-		sessions = recovered.Sessions
-		clockBase = recovered.Watermark
-		sessions.ResetBindings(clockBase)
-		nGranted := 0
-		for _, rs := range recovered.Live {
-			if rs.Granted {
-				nGranted++
-			}
-		}
-		fmt.Printf("dineserve: recovered %d live sessions (%d granted), %d fork edges, watermark t=%d, torn tail %d bytes\n",
-			len(recovered.Live), nGranted, len(recovered.Forks), clockBase, walRec.TornBytes)
-		dur = newDurable(store, sessions, *snapRecs)
-		dur.instrument(m)
-		sessions.SetJournal(dur.journal)
-	}
-
-	log := &trace.Log{}
-	feed := newSuspectFeed(extInst)
-	// Name the bus explicitly (live.New would default to the same one) so
-	// its delivery counters can be sampled by the registry.
-	bus := live.NewChanBus()
-	r := live.New(live.Config{
-		N:      *n,
-		Tick:   *tick,
-		Tracer: multiTracer{log, feed},
-		Bus:    bus,
-	})
-	m.observeRuntime(r)
-	m.observeBus(bus)
-	hb := detector.NewHeartbeat(r, "hb", detector.HeartbeatConfig{
-		Interval: 20, Check: 10,
-		Timeout: rt.Time(*hbTimeout), Bump: rt.Time(*hbTimeout) / 2,
-	})
-	tableCfg := forks.Config{}
-	if dur != nil {
-		tableCfg.OnFork = dur.onFork
-		if recovered != nil && len(recovered.Forks) > 0 {
-			forkSeed := recovered.Forks
-			tableCfg.Seed = func(p, q rt.ProcID) bool {
-				e := lockproto.Edge{P: int(p), Q: int(q)}
-				lower := true
-				if e.P > e.Q {
-					e.P, e.Q, lower = e.Q, e.P, false
-				}
-				lowerHolds, ok := forkSeed[e]
-				if !ok {
-					return p < q // edge never journaled: default placement
-				}
-				return lowerHolds == lower
-			}
-		}
-	}
-	tbl := forks.New(r, g, tableInst, hb, tableCfg)
 	if *chaosCrash >= 0 && *extract {
 		// The extraction boxes simulate every diner inside each real process;
 		// they have no restart story, so a chaos run would freeze the box of
@@ -190,12 +68,38 @@ func main() {
 		fmt.Println("dineserve: chaos crash enabled, disabling -extract")
 		*extract = false
 	}
-	if *extract {
-		procs := make([]rt.ProcID, *n)
-		for i := range procs {
-			procs[i] = rt.ProcID(i)
+
+	svc, err := dinesvc.New(dinesvc.Config{
+		N:           *n,
+		Tables:      *tables,
+		Topology:    *topology,
+		Tick:        *tick,
+		HBTimeout:   *hbTimeout,
+		Extract:     *extract,
+		Lease:       *lease,
+		MaxInflight: *maxInFl,
+		FlushBatch:  *flushBatch,
+		FlushDelay:  *flushDelay,
+
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		FsyncInterval: *fsyncEvery,
+		SnapRecords:   *snapRecs,
+
+		Logf: func(format string, args ...any) {
+			fmt.Printf("dineserve: "+format+"\n", args...)
+		},
+		Fatalf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dineserve: "+format+"\n", args...)
+			os.Exit(1)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dineserve: %v\n", err)
+		if errors.Is(err, dinesvc.ErrUsage) {
+			os.Exit(2)
 		}
-		core.NewExtractor(r, procs, forks.Factory(hb, forks.Config{}), extInst)
+		os.Exit(1)
 	}
 
 	if *pprofAddr != "" {
@@ -207,12 +111,6 @@ func main() {
 		}()
 		fmt.Printf("dineserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
-
-	srv := newServer(r, tbl, feed, sessions, *maxInFl, dur, clockBase, m)
-	srv.flushBatch = *flushBatch
-	srv.flushDelay = *flushDelay
-	m.observeServer(srv)
-
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -220,82 +118,30 @@ func main() {
 			os.Exit(1)
 		}
 		go func() {
-			if err := http.Serve(mln, metrics.Handler(m.reg)); err != nil {
+			if err := http.Serve(mln, metrics.Handler(svc.Registry())); err != nil {
 				// Closed at process exit; nothing to clean up.
 				_ = err
 			}
 		}()
 		fmt.Printf("dineserve: metrics on http://%s/metrics\n", mln.Addr())
 	}
-	if recovered != nil && len(recovered.Live) > 0 {
-		// Re-queue the crash's in-flight sessions before the listener opens:
-		// granted ones re-enter the dining layer, pending ones line up again,
-		// and reconnecting clients find everything where they left it.
-		srv.resume(recovered.Live)
-	}
-	r.Start()
-	ln, err := srv.listen(*addr)
-	if err != nil {
+
+	if _, err := svc.Listen(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "dineserve: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dineserve: listening on %s (%d diners, %s)\n", ln.Addr(), *n, *topology)
-
 	if *chaosCrash >= 0 && *chaosCrash < *n {
-		p := rt.ProcID(*chaosCrash)
-		go func() {
-			time.Sleep(*chaosCrashAt)
-			fmt.Printf("dineserve: chaos — crashing diner %d\n", p)
-			r.Crash(p)
-			time.Sleep(*chaosRestart)
-			if r.Restart(p, func() {
-				tbl.Reset(p)
-				hb.Reset(p)
-			}) {
-				fmt.Printf("dineserve: chaos — diner %d restarted\n", p)
-			}
-		}()
+		svc.ChaosCrash(*chaosCrash, *chaosCrashAt, *chaosRestart)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	go srv.accept()
 	<-sig
 	fmt.Println("dineserve: signal received, draining")
-	srv.drain(*drain)
-
-	end := r.Now()
-	r.Stop()
-	dur.close()
-	// Exit-time telemetry reads the same registry a -metrics scrape serves,
-	// so the final numbers and a mid-run scrape can never disagree.
-	fmt.Printf("dineserve: granted=%d regranted=%d released=%d expired=%d shed=%d steps=%d msgs=%d\n",
-		m.granted.Value(), m.regranted.Value(), m.released.Value(), m.expired.Value(), m.shed.Value(),
-		r.Counter("steps"), r.Counter("msg.delivered"))
-	if ev := m.wireEvents.Value(); ev > 0 {
-		fmt.Printf("dineserve: wire events=%d writes=%d (%.1f events/write)\n",
-			ev, m.wireWrites.Value(), float64(ev)/float64(max64(m.wireWrites.Value(), 1)))
-	}
-	if calls := m.walBarriers.Value(); calls > 0 {
-		fmt.Printf("dineserve: durability barriers=%d fsync-rounds=%d (%.1f barriers/fsync)\n",
-			calls, m.walSyncRounds.Value(), float64(calls)/float64(max64(m.walSyncRounds.Value(), 1)))
-	}
-
-	// The service's whole life is the run; require exclusion mistakes to
-	// have stopped by its midpoint. With no crashes and sane timeouts there
-	// are normally no violations at all.
-	rep, err := checker.EventualWeakExclusion(log, g, tableInst, end/2, end)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dineserve: exclusion check FAILED: %v (%d violations)\n", err, len(rep.Violations))
+	svc.Drain(*drain)
+	svc.Summary()
+	if err := svc.Verdict(); err != nil {
+		fmt.Fprintf(os.Stderr, "dineserve: exclusion check FAILED: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dineserve: exclusion check OK — %d violations, all before t=%d (run end t=%d)\n",
-		len(rep.Violations), end/2, end)
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

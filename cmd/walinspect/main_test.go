@@ -1,0 +1,102 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lockproto"
+	"repro/internal/wal"
+)
+
+// writeLedger populates one WAL directory with the given records through
+// the real store, so the fixture is byte-identical to what a service shard
+// would leave behind.
+func writeLedger(t *testing.T, dir string, recs []lockproto.Rec) {
+	t.Helper()
+	pol, err := wal.ParsePolicy("always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _, err := wal.Open(dir, wal.Options{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if _, err := store.Append(r.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardedDataDir drives the tool against a two-table data directory:
+// table-0 carries a clean acquire→grant→release history, table-1 a
+// double-grant. The inspection must audit both shards, report table-0
+// clean, attribute the violation to table-1, and exit 2 overall.
+func TestRunShardedDataDir(t *testing.T) {
+	parent := t.TempDir()
+	k := lockproto.Key{Diner: 3, ID: "a"}
+	writeLedger(t, wal.TableDir(parent, 0), []lockproto.Rec{
+		{K: lockproto.RecAcquire, D: k.Diner, I: k.ID, T: 1},
+		{K: lockproto.RecGrant, D: k.Diner, I: k.ID, T: 2},
+		{K: lockproto.RecRelease, D: k.Diner, I: k.ID, T: 3},
+	})
+	writeLedger(t, wal.TableDir(parent, 1), []lockproto.Rec{
+		{K: lockproto.RecAcquire, D: 6, I: "b", T: 1},
+		{K: lockproto.RecGrant, D: 6, I: "b", T: 2},
+		{K: lockproto.RecGrant, D: 6, I: "b", T: 4},
+	})
+
+	var out, errOut strings.Builder
+	code := run(&out, &errOut, false, true, parent)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"2 tables", "== table-0 ==", "== table-1 ==", "verify: ledger OK — no double grants"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "table-1: ledger violation") ||
+		!strings.Contains(errOut.String(), "double grant") {
+		t.Fatalf("stderr did not attribute the violation to table-1:\n%s", errOut.String())
+	}
+
+	// Both shards clean: the whole directory verifies with status 0.
+	clean := t.TempDir()
+	for i := 0; i < 2; i++ {
+		writeLedger(t, wal.TableDir(clean, i), []lockproto.Rec{
+			{K: lockproto.RecAcquire, D: i, I: "x", T: 1},
+			{K: lockproto.RecGrant, D: i, I: "x", T: 2},
+			{K: lockproto.RecRelease, D: i, I: "x", T: 3},
+		})
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(&out, &errOut, false, true, clean); code != 0 {
+		t.Fatalf("clean sharded dir: exit %d\nstderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestRunFlatDataDir pins the historical single-directory behavior: a flat
+// layout is inspected as one ledger, with no table headers in the output.
+func TestRunFlatDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	writeLedger(t, dir, []lockproto.Rec{
+		{K: lockproto.RecAcquire, D: 0, I: "f", T: 1},
+		{K: lockproto.RecGrant, D: 0, I: "f", T: 2},
+	})
+	var out, errOut strings.Builder
+	if code := run(&out, &errOut, false, true, dir); code != 0 {
+		t.Fatalf("flat dir: exit %d\nstderr:\n%s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "== table-") {
+		t.Fatalf("flat layout grew table headers:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "verify: ledger OK") {
+		t.Fatalf("missing verify verdict:\n%s", out.String())
+	}
+}

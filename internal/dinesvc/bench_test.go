@@ -1,4 +1,4 @@
-package main
+package dinesvc
 
 import (
 	"fmt"
@@ -7,44 +7,38 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/detector"
-	"repro/internal/dining/forks"
-	"repro/internal/graph"
-	"repro/internal/live"
 	"repro/internal/lockproto"
 )
 
 // This file is the in-process half of the service benchmark suite: a real
-// dineserve (live runtime, forks table, heartbeat detector, TCP listener on
-// a loopback ephemeral port) driven by real protocol clients, with no
+// service (live runtime, forks table, heartbeat detector, TCP listener on a
+// loopback ephemeral port) driven by real protocol clients, with no
 // persistence and no extractor so the measured path is exactly the request
 // pipeline — codec, session registry, diner manager, flush writer. The
 // numbers include the dining layer's grant latency, which is tick-paced, so
 // they measure the service overhead *around* a fixed protocol core; the
-// end-to-end load numbers come from `make bench-serve` driving the same
-// binary over dineload.
+// end-to-end load numbers come from `make bench-serve` driving the
+// dineserve binary over dineload.
 
-// benchServer boots a servable table on an ephemeral port and returns its
-// address plus a shutdown func.
-func benchServer(b *testing.B, n int) (string, func()) {
+// benchServer boots a servable table set on an ephemeral port and returns
+// its address plus a shutdown func. It takes testing.TB so the differential
+// and regression tests drive the same client/server plumbing the benchmarks
+// measure.
+func benchServer(b testing.TB, n, tables int) (string, func()) {
 	b.Helper()
-	g := graph.Ring(n)
-	feed := newSuspectFeed(extInst)
-	r := live.New(live.Config{N: n, Tick: 200 * time.Microsecond})
-	hb := detector.NewHeartbeat(r, "hb", detector.HeartbeatConfig{
-		Interval: 20, Check: 10, Timeout: 2000, Bump: 1000,
+	svc, err := New(Config{
+		N: n, Tables: tables, Topology: "ring",
+		Tick: 200 * time.Microsecond, HBTimeout: 2000,
 	})
-	tbl := forks.New(r, g, tableInst, hb, forks.Config{})
-	srv := newServer(r, tbl, feed, lockproto.NewSessions(0), 0, nil, 0, nil)
-	r.Start()
-	ln, err := srv.listen("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
-	go srv.accept()
+	ln, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
 	return ln.Addr().String(), func() {
-		srv.drain(5 * time.Second)
-		r.Stop()
+		svc.Drain(5 * time.Second)
 	}
 }
 
@@ -54,7 +48,7 @@ type benchClient struct {
 	er *lockproto.EventReader
 }
 
-func dialBench(b *testing.B, addr string) *benchClient {
+func dialBench(b testing.TB, addr string) *benchClient {
 	b.Helper()
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -64,7 +58,7 @@ func dialBench(b *testing.B, addr string) *benchClient {
 }
 
 // session runs one full acquire→grant→release→ack cycle.
-func (cl *benchClient) session(b *testing.B, diner int, id string) {
+func (cl *benchClient) session(b testing.TB, diner int, id string) {
 	if err := lockproto.WriteRequest(cl.c, &lockproto.Request{Op: lockproto.OpAcquire, Diner: diner, ID: id}); err != nil {
 		b.Fatal(err)
 	}
@@ -75,7 +69,7 @@ func (cl *benchClient) session(b *testing.B, diner int, id string) {
 	cl.await(b, lockproto.EvReleased, id)
 }
 
-func (cl *benchClient) await(b *testing.B, ev, id string) {
+func (cl *benchClient) await(b testing.TB, ev, id string) {
 	for {
 		var e lockproto.Event
 		if err := cl.er.Read(&e); err != nil {
@@ -93,7 +87,24 @@ func (cl *benchClient) await(b *testing.B, ev, id string) {
 // BenchmarkServeGrant measures the sequential end-to-end session round trip
 // on an uncontended diner: acquire → grant → release → ack, one client.
 func BenchmarkServeGrant(b *testing.B) {
-	addr, stop := benchServer(b, 3)
+	addr, stop := benchServer(b, 3, 1)
+	defer stop()
+	cl := dialBench(b, addr)
+	defer cl.c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.session(b, 0, fmt.Sprintf("g-%d", i))
+	}
+	b.StopTimer()
+}
+
+// BenchmarkServeGrantTables4 is the same round trip through a sharded
+// service: 16 diners over 4 tables, the client pinned to one diner. The
+// router adds a hash and two slice lookups per request; the number should
+// sit within noise of the single-table run.
+func BenchmarkServeGrantTables4(b *testing.B) {
+	addr, stop := benchServer(b, 16, 4)
 	defer stop()
 	cl := dialBench(b, addr)
 	defer cl.c.Close()
@@ -110,7 +121,7 @@ func BenchmarkServeGrant(b *testing.B) {
 // sharded registry and the coalesced writes exist for.
 func BenchmarkServeChurn(b *testing.B) {
 	const n = 8
-	addr, stop := benchServer(b, n)
+	addr, stop := benchServer(b, n, 1)
 	defer stop()
 	var cid atomic.Int64
 	b.ReportAllocs()

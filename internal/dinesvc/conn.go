@@ -1,0 +1,318 @@
+package dinesvc
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/lockproto"
+)
+
+// sessionTable shards the key→*session map the same way the lockproto
+// registry shards its records: by diner, so the table lookup on the acquire
+// and release hot paths never serializes independent diners behind one
+// mutex.
+type sessionTable struct {
+	shards [16]struct {
+		mu sync.Mutex
+		m  map[lockproto.Key]*session
+		_  [24]byte // keep neighbouring locks off one cache line
+	}
+}
+
+func (t *sessionTable) shard(k lockproto.Key) (*sync.Mutex, map[lockproto.Key]*session) {
+	sh := &t.shards[uint(k.Diner)%uint(len(t.shards))]
+	return &sh.mu, sh.m
+}
+
+// init allocates the shard maps; newTable calls it before any traffic.
+func (t *sessionTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[lockproto.Key]*session)
+	}
+}
+
+func (t *sessionTable) get(k lockproto.Key) *session {
+	mu, m := t.shard(k)
+	mu.Lock()
+	ses := m[k]
+	mu.Unlock()
+	return ses
+}
+
+func (t *sessionTable) put(k lockproto.Key, ses *session) {
+	mu, m := t.shard(k)
+	mu.Lock()
+	m[k] = ses
+	mu.Unlock()
+}
+
+func (t *sessionTable) del(k lockproto.Key) {
+	mu, m := t.shard(k)
+	mu.Lock()
+	delete(m, k)
+	mu.Unlock()
+}
+
+// session is one acquire from registry entry to release, owned by a
+// dinerMgr after being enqueued. Its connection binding is mutable: the
+// client may vanish and re-attach from a new connection mid-session.
+type session struct {
+	key lockproto.Key
+	// regrant marks a session recovered from the WAL in granted state; its
+	// manager re-wins the dining-layer grant but must not re-run the
+	// registry transition. Set before enqueue, read-only afterwards.
+	regrant bool
+	// start stamps the acquire's arrival; the server-side grant-latency
+	// histogram observes start→grant-sent. Recovered sessions carry their
+	// resume time instead, which is why regrants are not observed.
+	start   time.Time
+	release chan struct{}
+	relOnce sync.Once
+
+	mu      sync.Mutex
+	conn    *jconn // nil while detached
+	granted bool
+	grantEv lockproto.Event
+}
+
+func newSession(k lockproto.Key) *session {
+	return &session{key: k, start: time.Now(), release: make(chan struct{})}
+}
+
+// finishRelease signals the manager to free the critical section (or to
+// unwind, if it has not granted yet). Idempotent: the client's release and
+// the janitor's expiry may race.
+func (s *session) finishRelease() { s.relOnce.Do(func() { close(s.release) }) }
+
+// attach binds the session to a connection; if the grant was already issued
+// the (possibly lost) notification is re-sent on the new connection.
+func (s *session) attach(jc *jconn) {
+	s.mu.Lock()
+	s.conn = jc
+	resend := s.granted
+	ev := s.grantEv
+	s.mu.Unlock()
+	if resend {
+		jc.send(ev)
+	}
+}
+
+// detach unbinds the session if it is still bound to jc (a newer connection
+// may have taken over).
+func (s *session) detach(jc *jconn) {
+	s.mu.Lock()
+	if s.conn == jc {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+}
+
+// markGranted records and sends the grant notification.
+func (s *session) markGranted(ev lockproto.Event) {
+	s.mu.Lock()
+	s.granted = true
+	s.grantEv = ev
+	jc := s.conn
+	s.mu.Unlock()
+	if jc != nil {
+		jc.send(ev)
+	}
+}
+
+// notify sends ev if a connection is attached.
+func (s *session) notify(ev lockproto.Event) {
+	s.mu.Lock()
+	jc := s.conn
+	s.mu.Unlock()
+	if jc != nil {
+		jc.send(ev)
+	}
+}
+
+// jconn is one client connection's outbound half: a coalescing flush
+// writer over the socket. Writes from the connection reader, the diner
+// managers, and the watch forwarder serialize on the writer's internal
+// lock; a burst of events (grant acks interleaved with the suspect stream)
+// rides one socket Write instead of one per event.
+type jconn struct {
+	c  net.Conn
+	fw *lockproto.FlushWriter
+}
+
+func (j *jconn) send(ev lockproto.Event) bool { return j.fw.Send(&ev) }
+
+// handleConn is the per-connection request loop. A connection is a service
+// resource shared by every table: each request routes to the table hosting
+// its diner, so one client can hold sessions on several tables over one
+// socket.
+func (s *Service) handleConn(c net.Conn) {
+	jc := &jconn{c: c, fw: lockproto.NewFlushWriter(c, s.cfg.FlushBatch, s.cfg.FlushDelay)}
+	// Each socket write lands in the registry as it happens, so the
+	// coalescing ratio is scrapeable mid-run instead of only accumulating
+	// at connection teardown.
+	jc.fw.OnFlush(func(events, bytes int64) {
+		s.m.wireWrites.Inc()
+		s.m.wireEvents.Add(events)
+		s.m.wireBytes.Add(bytes)
+	})
+	attached := make(map[lockproto.Key]*session)
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		// Flush anything still coalescing (the close drains), then drop the
+		// socket.
+		jc.fw.Close()
+		c.Close()
+		// Detach, don't abandon: the sessions stay in flight so the client
+		// can reconnect and resume them; the lease clock starts now.
+		for k, ses := range attached {
+			t := s.tableFor(k.Diner)
+			ses.detach(jc)
+			t.sessions.Detach(k, t.now())
+		}
+	}()
+	gone := make(chan struct{})
+	defer close(gone) // cancels the watch forwarders
+
+	fail := func(req lockproto.Request, msg string) {
+		jc.send(lockproto.Event{Ev: lockproto.EvError, Diner: req.Diner, ID: req.ID, Msg: msg})
+	}
+
+	rr := lockproto.NewRequestReader(c)
+	for {
+		var req lockproto.Request
+		if err := rr.Read(&req); err != nil {
+			return
+		}
+		switch req.Op {
+		case lockproto.OpInfo:
+			ev := lockproto.Event{Ev: lockproto.EvInfo, Diners: s.cfg.N, T: s.now()}
+			if s.cfg.Tables > 1 {
+				// Omitted for a single table, so the info line stays
+				// byte-identical to the pre-sharding wire format.
+				ev.Tables = s.cfg.Tables
+			}
+			jc.send(ev)
+
+		case lockproto.OpAcquire:
+			if req.Diner < 0 || req.Diner >= s.cfg.N {
+				fail(req, "no such diner")
+				continue
+			}
+			if s.draining.Load() {
+				fail(req, "draining")
+				continue
+			}
+			t := s.tableFor(req.Diner)
+			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
+			now := t.now()
+			switch t.sessions.Acquire(key, now) {
+			case lockproto.AcquireNew:
+				if s.cfg.MaxInflight > 0 && s.inFlightTotal() >= s.cfg.MaxInflight {
+					t.sessions.Abort(key)
+					t.m.shed.Inc()
+					fail(req, "overloaded")
+					continue
+				}
+				ses := newSession(key)
+				t.byKey.put(key, ses)
+				t.sessions.Attach(key, now)
+				ses.attach(jc)
+				attached[key] = ses
+				t.inFlight.Add(1)
+				select {
+				case t.mgrFor(req.Diner).queue <- ses:
+				default:
+					t.inFlight.Add(-1)
+					ses.detach(jc)
+					delete(attached, key)
+					t.dropSession(key)
+					t.sessions.Abort(key)
+					fail(req, "busy")
+				}
+
+			case lockproto.AcquirePending, lockproto.AcquireGranted:
+				// Replay after a reconnect: re-attach. attach re-sends the
+				// grant notification if it was already issued; the critical
+				// section itself is never granted twice. The registry counts
+				// bindings, so this Attach and the dying connection's deferred
+				// Detach land safely in either order.
+				ses := t.byKey.get(key)
+				if ses == nil {
+					// Completed between the registry check and here.
+					fail(req, "session expired")
+					continue
+				}
+				if attached[key] == nil {
+					t.sessions.Attach(key, now)
+				}
+				ses.attach(jc)
+				attached[key] = ses
+
+			case lockproto.AcquireDone:
+				fail(req, "session expired")
+			}
+
+		case lockproto.OpRelease:
+			if req.Diner < 0 || req.Diner >= s.cfg.N {
+				fail(req, "unknown session")
+				continue
+			}
+			t := s.tableFor(req.Diner)
+			key := lockproto.Key{Diner: req.Diner, ID: req.ID}
+			switch t.sessions.Release(key, t.now()) {
+			case lockproto.ReleaseGranted:
+				if ses := t.byKey.get(key); ses != nil {
+					ses.finishRelease() // the manager sends EvReleased after the exit
+				}
+			case lockproto.ReleasePending:
+				// Released before the grant: the manager unwinds silently
+				// when the grant arrives; acknowledge the client now (the
+				// release record first — an acked release must survive a
+				// crash).
+				t.dur.barrier()
+				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: t.now()})
+			case lockproto.ReleaseDone:
+				// Replayed release (the first ack was lost): re-acknowledge.
+				jc.send(lockproto.Event{Ev: lockproto.EvReleased, Diner: req.Diner, ID: req.ID, T: t.now()})
+			case lockproto.ReleaseUnknown:
+				fail(req, "unknown session")
+			}
+
+		case lockproto.OpWatch:
+			// One watch subscribes to every table's feed: the snapshots
+			// arrive first (each internally consistent), then one forwarder
+			// per table streams its changes, all coalescing onto this
+			// connection's writer.
+			for _, t := range s.tables {
+				if t.feed == nil {
+					continue
+				}
+				snapshot, ch, cancel := t.feed.subscribe()
+				for _, ev := range snapshot {
+					jc.send(ev)
+				}
+				go func(ch <-chan lockproto.Event, cancel func()) {
+					defer cancel()
+					for {
+						select {
+						case ev := <-ch:
+							if !jc.send(ev) {
+								return
+							}
+						case <-gone:
+							return
+						case <-s.stop:
+							return
+						}
+					}
+				}(ch, cancel)
+			}
+
+		default:
+			fail(req, "unknown op")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package dinesvc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lockproto"
+)
+
+// TestVanishedClientDoesNotLeakDrain is the regression test for the
+// handleConn teardown audit: a client that disconnects *between* receiving
+// its grant and acknowledging the release exercises the detach path while
+// the manager still owns the session. The connection teardown must detach —
+// not abandon — the session: it stays in flight on the lease clock, the
+// janitor force-releases it when the lease runs out, and a subsequent drain
+// completes with zero sessions in flight and conserved accounting. Before
+// the audit this was the suspected leak shape (a detached-but-granted
+// session wedging Drain until its timeout).
+func TestVanishedClientDoesNotLeakDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full server; skipped in -short")
+	}
+	svc, err := New(Config{
+		N: 3, Topology: "ring",
+		Tick: time.Millisecond, HBTimeout: 2000,
+		Lease: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := dialBench(t, ln.Addr().String())
+	if err := lockproto.WriteRequest(cl.c, &lockproto.Request{Op: lockproto.OpAcquire, Diner: 0, ID: "leak"}); err != nil {
+		t.Fatal(err)
+	}
+	cl.await(t, lockproto.EvGranted, "leak")
+	// Vanish while holding the critical section: no release, no close
+	// handshake — the deferred teardown in handleConn is all that runs.
+	cl.c.Close()
+
+	// The janitor must reclaim the session once the lease expires; poll well
+	// past lease + janitor cadence before calling it a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.inFlightTotal() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if left := svc.inFlightTotal(); left != 0 {
+		t.Fatalf("vanished client leaked %d in-flight sessions past its lease", left)
+	}
+
+	svc.Drain(2 * time.Second)
+
+	tbl := svc.tableFor(0)
+	granted := tbl.m.granted.Value()
+	regranted := tbl.m.regranted.Value()
+	released := tbl.m.released.Value()
+	expired := tbl.m.expired.Value()
+	held := tbl.m.held.Value()
+	if granted != 1 || expired != 1 {
+		t.Fatalf("granted=%d expired=%d, want 1/1 (the janitor must have reclaimed the grant)",
+			granted, expired)
+	}
+	// The smoke scripts' conservation invariant: every grant is eventually
+	// released, nothing is held after drain.
+	if held != 0 || granted+regranted != released+held {
+		t.Fatalf("accounting leak: granted=%d regranted=%d released=%d held=%d",
+			granted, regranted, released, held)
+	}
+	if err := svc.Verdict(); err != nil {
+		t.Fatalf("verdict after forced release: %v", err)
+	}
+}

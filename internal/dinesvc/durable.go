@@ -1,8 +1,6 @@
-package main
+package dinesvc
 
 import (
-	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 
@@ -12,15 +10,16 @@ import (
 	"repro/internal/wal"
 )
 
-// durable is the bridge between the in-memory service and the WAL: the
+// durable is the bridge between one in-memory table and its WAL: the
 // session registry's journal hook, the fork table's ownership observer, and
 // the janitor's snapshot trigger all land here. A nil *durable is the
-// non-persistent server; every method tolerates it, so call sites need no
+// non-persistent table; every method tolerates it, so call sites need no
 // guards.
 //
-// A WAL write error is fatal by design: a server that kept granting after
-// losing its log would silently drop the very guarantees -data-dir was
-// asked to provide.
+// A WAL write error is fatal by design: a table that kept granting after
+// losing its log would silently drop the very guarantees DataDir was asked
+// to provide. What fatal means is the embedder's choice (Config.Fatalf —
+// the dineserve binary exits, the library default panics).
 type durable struct {
 	store    *wal.Store
 	sessions *lockproto.Sessions
@@ -29,9 +28,11 @@ type durable struct {
 	snapEvery int64
 	recsSince atomic.Int64
 
+	fatalf func(format string, args ...any)
+
 	mu    sync.Mutex
 	forks map[[2]int]bool // directed (p,q) -> p's hold bit for edge {p,q}
-	// clock is the server-tick watermark snapshots are stamped with; the
+	// clock is the table-tick watermark snapshots are stamped with; the
 	// janitor refreshes it each pass so a recovered clock never runs
 	// backwards past a snapshot cut.
 	clock int64
@@ -50,20 +51,23 @@ type durable struct {
 	rounds  *metrics.Counter // leader syncs actually issued
 }
 
-func newDurable(store *wal.Store, sessions *lockproto.Sessions, snapEvery int64) *durable {
+func newDurable(store *wal.Store, sessions *lockproto.Sessions, snapEvery int64,
+	fatalf func(format string, args ...any)) *durable {
 	d := &durable{
 		store:     store,
 		sessions:  sessions,
 		snapEvery: snapEvery,
+		fatalf:    fatalf,
 		forks:     make(map[[2]int]bool),
 	}
 	d.bcond = sync.NewCond(&d.bmu)
 	return d
 }
 
-// instrument wires the durability counters into the registry. Called before
-// the listener opens; a durable left uninstrumented just counts nothing.
-func (d *durable) instrument(m *serverMetrics) {
+// instrument wires the durability counters into the table's registry slice.
+// Called before the listener opens; a durable left uninstrumented just
+// counts nothing.
+func (d *durable) instrument(m *tableMetrics) {
 	if d == nil {
 		return
 	}
@@ -71,8 +75,7 @@ func (d *durable) instrument(m *serverMetrics) {
 }
 
 func (d *durable) fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dineserve: wal: %v\n", err)
-	os.Exit(1)
+	d.fatalf("wal: %v", err)
 }
 
 // append journals one record (buffered; durability comes from barrier or
@@ -139,7 +142,10 @@ func (d *durable) barrier() {
 }
 
 // onFork is the forks.Config observer: mirror the hold bit and journal the
-// move. Runs on protocol goroutines.
+// move. Runs on protocol goroutines. p and q are the table's local proc
+// ids — each table's WAL describes its own conflict graph, and the
+// diner→table assignment (lockproto.TableOf) is pinned, so local ids are
+// stable across restarts.
 func (d *durable) onFork(p, q rt.ProcID, hold bool) {
 	if d == nil {
 		return
@@ -151,7 +157,7 @@ func (d *durable) onFork(p, q rt.ProcID, hold bool) {
 }
 
 // tick journals the clock watermark and cuts a snapshot if enough records
-// accumulated. Called from the janitor, once per pass.
+// accumulated. Called from the table's janitor, once per pass.
 func (d *durable) tick(now int64) {
 	if d == nil {
 		return
@@ -169,7 +175,7 @@ func (d *durable) tick(now int64) {
 	}
 }
 
-// buildSnapshot serializes the full service state. The wal package calls it
+// buildSnapshot serializes the full table state. The wal package calls it
 // after rotating, so records already in the new segment may be re-described
 // here — lockproto.Replay is idempotent against exactly that overlap.
 func (d *durable) buildSnapshot() []byte {
@@ -184,11 +190,9 @@ func (d *durable) buildSnapshot() []byte {
 }
 
 // close flushes and closes the store at the end of a drain.
-func (d *durable) close() {
+func (d *durable) close() error {
 	if d == nil {
-		return
+		return nil
 	}
-	if err := d.store.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "dineserve: wal close: %v\n", err)
-	}
+	return d.store.Close()
 }

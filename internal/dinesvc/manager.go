@@ -1,0 +1,175 @@
+package dinesvc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dining"
+	"repro/internal/lockproto"
+	"repro/internal/rt"
+)
+
+// dinerMgr serializes sessions onto one diner: pop an acquire, make the
+// diner hungry, wait for the dining layer's grant, hand the critical section
+// to the client, and exit when the client releases, disappears past its
+// lease, or released while still queued. All diner calls go through Invoke,
+// so they are steps of the diner's process.
+//
+// The manager lives on a table: p is the diner's local proc id on that
+// table's runtime, while the sessions it serves carry the global diner id
+// (ses.key.Diner) — the id clients speak and the registry records.
+type dinerMgr struct {
+	t      *Table
+	p      rt.ProcID // table-local proc id
+	d      dining.Diner
+	queue  chan *session
+	grant  chan struct{} // pulsed by OnChange(Eating)
+	idle   chan struct{} // pulsed by OnChange(Thinking)
+	eating atomic.Bool   // mirrors the diner's state, set in OnChange
+}
+
+// hungry best-effort requests the critical section; refused while the diner
+// process is crashed (a chaos restart re-triggers via the idle pulse).
+func (m *dinerMgr) hungry() {
+	m.t.r.Invoke(m.p, func() {
+		if m.d.State() == dining.Thinking {
+			m.d.Hungry()
+		}
+	})
+}
+
+// exitCS best-effort leaves the critical section.
+func (m *dinerMgr) exitCS() {
+	m.t.r.Invoke(m.p, func() {
+		if m.d.State() == dining.Eating {
+			m.d.Exit()
+		}
+	})
+}
+
+// waitIdle blocks until the diner is back to thinking (or the service
+// stops). Returns false on stop.
+func (m *dinerMgr) waitIdle() bool {
+	for {
+		select {
+		case <-m.idle:
+			if !m.eating.Load() {
+				return true
+			}
+		case <-m.t.svc.stop:
+			return false
+		}
+	}
+}
+
+func (m *dinerMgr) run() {
+	t := m.t
+	for {
+		var ses *session
+		select {
+		case ses = <-m.queue:
+		case <-t.svc.stop:
+			return
+		}
+		// Stale pulses from a previous cycle (or a chaos restart) must not
+		// satisfy this session's waits.
+		drainPulse(m.grant)
+		drainPulse(m.idle)
+		m.hungry()
+		// Wait for the dining layer's grant. A crash/restart of the diner's
+		// process knocks it back to Thinking (pulsing idle); re-request
+		// instead of wedging forever.
+	grantWait:
+		for {
+			select {
+			case <-m.grant:
+				if m.eating.Load() {
+					break grantWait
+				}
+				// Stale pulse (crash hit right after the transition): the
+				// restart's idle pulse will re-trigger hungry below.
+			case <-m.idle:
+				m.hungry()
+			case <-t.svc.stop:
+				t.inFlight.Add(-1)
+				return
+			}
+		}
+		if ses.regrant {
+			// Recovered grant: the registry already shows this session in
+			// the critical section — the crash just evicted it from the
+			// dining layer, which we have now re-won. No second registry
+			// transition, no second grant journal record.
+			t.m.regranted.Inc()
+			t.m.held.Add(1)
+			select {
+			case <-ses.release:
+				// Released (or janitor-expired) while we were re-winning:
+				// fall through to the exit without re-announcing the grant,
+				// so the client never sees EvGranted after its release.
+			default:
+				ses.markGranted(lockproto.Event{
+					Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: t.now(),
+				})
+			}
+		} else if !t.sessions.Grant(ses.key, t.now()) {
+			// Released or expired while queued: hand the section straight
+			// back without ever exposing it.
+			m.exitCS()
+			if !m.waitIdle() {
+				t.inFlight.Add(-1)
+				return
+			}
+			t.dropSession(ses.key)
+			t.inFlight.Add(-1)
+			continue
+		} else {
+			// The grant record must be on disk before the client can act on
+			// the grant — an acknowledged critical section that a crash
+			// forgets would be re-granted on recovery.
+			t.dur.barrier()
+			t.m.granted.Inc()
+			t.m.held.Add(1)
+			t.m.grantLat.ObserveDuration(time.Since(ses.start))
+			ses.markGranted(lockproto.Event{
+				Ev: lockproto.EvGranted, Diner: ses.key.Diner, ID: ses.key.ID, T: t.now(),
+			})
+		}
+		select {
+		case <-ses.release:
+		case <-t.svc.stop:
+			t.inFlight.Add(-1)
+			return
+		}
+		m.exitCS()
+		if !m.waitIdle() {
+			t.inFlight.Add(-1)
+			return
+		}
+		t.m.released.Inc()
+		t.m.held.Add(-1)
+		// Same durability rule as the grant: the release record must not be
+		// lost once the client has seen the ack, or recovery would resurrect
+		// a finished session.
+		t.dur.barrier()
+		ses.notify(lockproto.Event{
+			Ev: lockproto.EvReleased, Diner: ses.key.Diner, ID: ses.key.ID, T: t.now(),
+		})
+		t.dropSession(ses.key)
+		t.inFlight.Add(-1)
+	}
+}
+
+func pulse(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func drainPulse(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+	}
+}

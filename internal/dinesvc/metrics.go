@@ -1,0 +1,171 @@
+package dinesvc
+
+import (
+	"repro/internal/live"
+	"repro/internal/metrics"
+)
+
+// The instrument inventory keeps the dineserve_ name prefix — dinesvc is the
+// embeddable kernel of that service, and every dashboard, smoke script, and
+// scrape assertion built against the binary keys on these exact series
+// names. Instruments are always live; whether an HTTP listener exposes them
+// is the embedder's business.
+//
+// The inventory splits along the sharding boundary:
+//
+//   - svcMetrics is per process: the outbound wire is per connection and
+//     connections are shared by every table, so the coalescing counters
+//     cannot be attributed to one table.
+//   - tableMetrics is per table, built through a naming function. A
+//     single-table service names its instruments bare (byte-identical to the
+//     pre-sharding inventory); a sharded one names them through
+//     metrics.WithLabels(name, "table", i), so N tables expose N labeled
+//     series under one metric family.
+
+// svcMetrics is the service-wide instrument set.
+type svcMetrics struct {
+	reg *metrics.Registry
+
+	// Outbound wire (per-connection FlushWriter coalescing).
+	wireWrites *metrics.Counter
+	wireEvents *metrics.Counter
+	wireBytes  *metrics.Counter
+}
+
+func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
+	m := &svcMetrics{reg: reg}
+	m.wireWrites = reg.Counter("dineserve_wire_writes_total",
+		"socket writes across all connections")
+	m.wireEvents = reg.Counter("dineserve_wire_events_total",
+		"events those writes carried (coalescing ratio = events/writes)")
+	m.wireBytes = reg.Counter("dineserve_wire_bytes_total",
+		"bytes written to client sockets")
+	return m
+}
+
+// observeService registers the scrape-time gauges over shared service state.
+func (m *svcMetrics) observeService(s *Service) {
+	m.reg.GaugeFunc("dineserve_connections",
+		"open client connections",
+		func() int64 {
+			s.connMu.Lock()
+			n := len(s.conns)
+			s.connMu.Unlock()
+			return int64(n)
+		})
+}
+
+// tableMetrics is one table's instrument set — every counter, gauge, and
+// histogram a dining table maintains, registered once at boot and updated
+// through preallocated handles so the request hot path stays at 0 extra
+// allocs/op (pinned by TestServeGrantMetricsAllocs).
+//
+// Naming scheme: dineserve_<subsystem>_<what>[_<unit>][_total], rendered
+// through the table's naming function. Counters end in _total; histograms
+// carry their exposition unit (_seconds scaled from the raw microsecond
+// observations, _records unscaled); gauges are bare nouns.
+type tableMetrics struct {
+	reg  *metrics.Registry
+	name func(string) string
+
+	// Session lifecycle (the dining-lock service proper).
+	granted   *metrics.Counter
+	regranted *metrics.Counter
+	released  *metrics.Counter
+	expired   *metrics.Counter
+	shed      *metrics.Counter
+	held      *metrics.Gauge // sessions currently in the critical section
+	grantLat  *metrics.Hist  // acquire received → grant sent, server-side
+
+	// ◇P extraction watch stream (suspect churn: transitions per direction).
+	suspects     *metrics.Counter
+	trusts       *metrics.Counter
+	watchDropped *metrics.Counter
+
+	// Durability (WAL + group-commit barrier).
+	walRecords    *metrics.Counter
+	walFsyncs     *metrics.Counter
+	walBarriers   *metrics.Counter
+	walSyncRounds *metrics.Counter
+	walFsyncLat   *metrics.Hist
+	walBatch      *metrics.Hist
+}
+
+func newTableMetrics(reg *metrics.Registry, name func(string) string) *tableMetrics {
+	m := &tableMetrics{reg: reg, name: name}
+
+	m.granted = reg.Counter(name("dineserve_sessions_granted_total"),
+		"sessions granted the critical section")
+	m.regranted = reg.Counter(name("dineserve_sessions_regranted_total"),
+		"recovered grants re-entered after a restart")
+	m.released = reg.Counter(name("dineserve_sessions_released_total"),
+		"granted sessions that exited the critical section")
+	m.expired = reg.Counter(name("dineserve_sessions_expired_total"),
+		"sessions reclaimed by the lease janitor")
+	m.shed = reg.Counter(name("dineserve_sessions_shed_total"),
+		"acquires refused with overloaded")
+	m.held = reg.Gauge(name("dineserve_sessions_held"),
+		"sessions currently holding the critical section")
+	m.grantLat = reg.Histogram(name("dineserve_grant_latency_seconds"),
+		"server-side acquire-to-grant latency", 1e-6)
+
+	m.suspects = reg.Counter(name("dineserve_suspect_transitions_total"),
+		"trust->suspect transitions on the extraction watch stream")
+	m.trusts = reg.Counter(name("dineserve_trust_transitions_total"),
+		"suspect->trust transitions on the extraction watch stream")
+	m.watchDropped = reg.Counter(name("dineserve_watch_dropped_total"),
+		"watch events not delivered to slow subscribers")
+
+	m.walRecords = reg.Counter(name("dineserve_wal_records_total"),
+		"journal records appended to the WAL")
+	m.walFsyncs = reg.Counter(name("dineserve_wal_fsyncs_total"),
+		"fsyncs the WAL store issued")
+	m.walBarriers = reg.Counter(name("dineserve_wal_barriers_total"),
+		"durability barriers (grant and release acknowledgements)")
+	m.walSyncRounds = reg.Counter(name("dineserve_wal_sync_rounds_total"),
+		"barrier leader rounds (barriers/rounds = group-commit amortization)")
+	m.walFsyncLat = reg.Histogram(name("dineserve_wal_fsync_seconds"),
+		"WAL fsync latency", 1e-6)
+	m.walBatch = reg.Histogram(name("dineserve_wal_batch_records"),
+		"records made durable per fsync (group-commit batch size)", 1)
+
+	return m
+}
+
+// observeTable registers the gauges that sample one table's state at scrape
+// time (nothing to maintain on the hot path).
+func (m *tableMetrics) observeTable(t *Table) {
+	m.reg.GaugeFunc(m.name("dineserve_sessions_inflight"),
+		"sessions accepted but not yet finished",
+		func() int64 { return t.inFlight.Load() })
+}
+
+// observeRuntime samples the table runtime's own counters (protocol steps,
+// bus-level message accounting) as gauges.
+func (m *tableMetrics) observeRuntime(r *live.Runtime) {
+	sample := func(name string) func() int64 {
+		return func() int64 { return r.Counter(name) }
+	}
+	m.reg.GaugeFunc(m.name("dineserve_rt_steps"), "protocol action steps executed", sample("steps"))
+	m.reg.GaugeFunc(m.name("dineserve_rt_msgs_sent"), "protocol messages sent", sample("msg.sent"))
+	m.reg.GaugeFunc(m.name("dineserve_rt_msgs_delivered"), "protocol messages delivered", sample("msg.delivered"))
+	m.reg.GaugeFunc(m.name("dineserve_rt_msgs_dropped"), "protocol messages dropped (crashed destination)", sample("msg.dropped"))
+}
+
+// observeBus samples the bus's delivery counters when the bus keeps them
+// (every bundled bus does; a custom Bus without StatsSource just exposes
+// nothing).
+func (m *tableMetrics) observeBus(bus live.Bus) {
+	src, ok := bus.(live.StatsSource)
+	if !ok {
+		return
+	}
+	m.reg.GaugeFunc(m.name("dineserve_bus_delivered_total"), "messages the bus handed to delivery",
+		func() int64 { return src.BusStats().Delivered })
+	m.reg.GaugeFunc(m.name("dineserve_bus_dropped_total"), "messages the bus ate",
+		func() int64 { return src.BusStats().Dropped })
+	m.reg.GaugeFunc(m.name("dineserve_bus_duped_total"), "duplicate deliveries a fault plan injected",
+		func() int64 { return src.BusStats().Duped })
+	m.reg.GaugeFunc(m.name("dineserve_bus_delayed_total"), "deliveries a fault plan held back",
+		func() int64 { return src.BusStats().Delayed })
+}

@@ -1,6 +1,6 @@
 //go:build race
 
-package main
+package dinesvc
 
 // raceEnabled reports whether the race detector is compiled in; the
 // allocation-delta test skips under it because the race runtime itself

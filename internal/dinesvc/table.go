@@ -1,0 +1,331 @@
+package dinesvc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dining"
+	"repro/internal/dining/forks"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/lockproto"
+	"repro/internal/rt"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+const (
+	tableInst = "dine" // served dining table's trace instance
+	extInst   = "ex"   // extraction oracle's trace instance
+	queueCap  = 1024   // pending acquires per diner before "busy"
+)
+
+// Table is one independent dining table: its own live runtime hosting the
+// diners assigned to it, its own conflict graph and forks arbitration over
+// a heartbeat ◇P, its own session registry, suspect feed, lease janitor,
+// and (when the service is durable) its own WAL recovered in isolation.
+// Tables share nothing but the listener and the accept loop; a stalled
+// fsync or a grant storm on one table never blocks another.
+//
+// Diner ids are global on the wire and in the registry (lockproto.Key);
+// each table maps them to local proc ids 0..k-1 on its runtime via the
+// pinned lockproto.TableOf assignment.
+type Table struct {
+	idx     int
+	svc     *Service
+	globals []int // local proc id → global diner id
+
+	g    *graph.Graph
+	r    *live.Runtime // nil for a table no diner hashes to
+	bus  *live.ChanBus
+	log  *trace.Log
+	feed *suspectFeed
+	hb   *detector.Heartbeat
+	tbl  *forks.Table
+	mgrs []*dinerMgr // indexed by local proc id
+
+	sessions *lockproto.Sessions
+	dur      *durable // nil: no persistence
+	// clockBase offsets the runtime's tick clock so table time resumes
+	// from the recovered watermark instead of restarting at zero — the
+	// lease arithmetic (lastSeen vs now) only works if time never rewinds.
+	clockBase int64
+	recovered *lockproto.Recovered
+
+	byKey    sessionTable
+	inFlight atomic.Int64 // sessions accepted but not yet finished
+
+	m *tableMetrics
+
+	// end is the runtime clock at drain, recorded before Stop so the ◇WX
+	// verdict judges exactly the served run.
+	end rt.Time
+}
+
+// Index reports the table's position in the service's shard array.
+func (t *Table) Index() int { return t.idx }
+
+// Diners lists the global diner ids this table hosts, in local proc order.
+func (t *Table) Diners() []int { return append([]int(nil), t.globals...) }
+
+// now is the table clock: runtime ticks offset by the recovered watermark.
+func (t *Table) now() int64 {
+	if t.r == nil {
+		return t.clockBase
+	}
+	return t.clockBase + int64(t.r.Now())
+}
+
+// mgrFor returns the manager serving a global diner id hosted here.
+func (t *Table) mgrFor(diner int) *dinerMgr { return t.mgrs[t.svc.localOf[diner]] }
+
+func (t *Table) dropSession(k lockproto.Key) { t.byKey.del(k) }
+
+// topoGraph builds one table's conflict graph over its local proc ids. The
+// named topologies need minimum sizes (a ring needs 3 nodes, a clique 2),
+// so small shards degrade to the densest graph that exists at their size:
+// two diners conflict pairwise under either topology, and a lone diner has
+// no conflicts at all (its fork set is empty, so it eats freely — exactly
+// the dining semantics of an isolated vertex).
+func topoGraph(topology string, k int) (*graph.Graph, error) {
+	if k == 1 {
+		g := graph.New()
+		g.Add(0)
+		return g, nil
+	}
+	switch topology {
+	case "ring":
+		if k == 2 {
+			return graph.Pair(0, 1), nil
+		}
+		return graph.Ring(k), nil
+	case "clique":
+		return graph.Clique(k), nil
+	}
+	return nil, fmt.Errorf("%w: unknown topology %q", ErrUsage, topology)
+}
+
+// newTable boots one shard: WAL recovery first (the ledger decides the
+// session registry, fork seeding, and clock base everything else builds
+// on), then the runtime stack. The table does not start serving — Listen
+// resumes recovered sessions and starts the runtime once every table has
+// booted, so a recovery error on table 3 never leaves tables 0–2 accepting
+// traffic.
+func newTable(svc *Service, idx int, globals []int, pol wal.Policy) (*Table, error) {
+	cfg := &svc.cfg
+	t := &Table{idx: idx, svc: svc, globals: globals}
+	t.m = newTableMetrics(svc.reg, svc.namerFor(idx))
+	t.byKey.init()
+
+	leaseTicks := svc.leaseTicks
+	t.sessions = lockproto.NewSessions(leaseTicks)
+
+	if cfg.DataDir != "" {
+		dir := cfg.DataDir
+		if cfg.Tables > 1 {
+			dir = wal.TableDir(cfg.DataDir, idx)
+		}
+		store, walRec, err := wal.Open(dir, wal.Options{
+			Policy: pol, Interval: cfg.FsyncInterval,
+			OnSync: func(records int64, d time.Duration) {
+				t.m.walFsyncs.Inc()
+				t.m.walFsyncLat.ObserveDuration(d)
+				if records > 0 {
+					t.m.walBatch.Observe(records)
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%swal: %v", t.errPrefix(), err)
+		}
+		recovered, err := lockproto.Replay(leaseTicks, walRec.Snapshot, walRec.Records)
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("%swal replay: %v", t.errPrefix(), err)
+		}
+		if len(recovered.Violations) > 0 {
+			// The ledger proves the pre-crash run broke safety; refusing to
+			// serve from it beats laundering the violation into a new run.
+			store.Close()
+			return nil, fmt.Errorf("%sledger violation: %s", t.errPrefix(), recovered.Violations[0])
+		}
+		t.recovered = recovered
+		t.sessions = recovered.Sessions
+		t.clockBase = recovered.Watermark
+		t.sessions.ResetBindings(t.clockBase)
+		nGranted := 0
+		for _, rs := range recovered.Live {
+			if rs.Granted {
+				nGranted++
+			}
+		}
+		svc.logf("%srecovered %d live sessions (%d granted), %d fork edges, watermark t=%d, torn tail %d bytes",
+			t.logPrefix(), len(recovered.Live), nGranted, len(recovered.Forks), t.clockBase, walRec.TornBytes)
+		t.dur = newDurable(store, t.sessions, cfg.SnapRecords, svc.fatalf)
+		t.dur.instrument(t.m)
+		t.sessions.SetJournal(t.dur.journal)
+	}
+
+	k := len(globals)
+	if k == 0 {
+		// No diner hashes here (possible when tables is close to n). The
+		// table still owns its WAL directory — the on-disk layout stays
+		// contiguous — but hosts no runtime and never sees traffic.
+		return t, nil
+	}
+
+	g, err := topoGraph(cfg.Topology, k)
+	if err != nil {
+		t.dur.close()
+		return nil, err
+	}
+	t.g = g
+	t.log = &trace.Log{}
+	t.feed = newSuspectFeed(extInst, globals)
+	t.feed.suspects, t.feed.trusts, t.feed.droppedC = t.m.suspects, t.m.trusts, t.m.watchDropped
+	// Name the bus explicitly (live.New would default to the same one) so
+	// its delivery counters can be sampled by the registry.
+	t.bus = live.NewChanBus()
+	t.r = live.New(live.Config{
+		N:      k,
+		Tick:   cfg.Tick,
+		Tracer: multiTracer{t.log, t.feed},
+		Bus:    t.bus,
+	})
+	t.m.observeRuntime(t.r)
+	t.m.observeBus(t.bus)
+	t.m.observeTable(t)
+	t.hb = detector.NewHeartbeat(t.r, "hb", detector.HeartbeatConfig{
+		Interval: 20, Check: 10,
+		Timeout: rt.Time(cfg.HBTimeout), Bump: rt.Time(cfg.HBTimeout) / 2,
+	})
+	tableCfg := forks.Config{}
+	if t.dur != nil {
+		tableCfg.OnFork = t.dur.onFork
+		if t.recovered != nil && len(t.recovered.Forks) > 0 {
+			forkSeed := t.recovered.Forks
+			tableCfg.Seed = func(p, q rt.ProcID) bool {
+				e := lockproto.Edge{P: int(p), Q: int(q)}
+				lower := true
+				if e.P > e.Q {
+					e.P, e.Q, lower = e.Q, e.P, false
+				}
+				lowerHolds, ok := forkSeed[e]
+				if !ok {
+					return p < q // edge never journaled: default placement
+				}
+				return lowerHolds == lower
+			}
+		}
+	}
+	t.tbl = forks.New(t.r, g, tableInst, t.hb, tableCfg)
+	if cfg.Extract {
+		procs := make([]rt.ProcID, k)
+		for i := range procs {
+			procs[i] = rt.ProcID(i)
+		}
+		core.NewExtractor(t.r, procs, forks.Factory(t.hb, forks.Config{}), extInst)
+	}
+
+	for _, p := range g.Nodes() {
+		m := &dinerMgr{
+			t:     t,
+			p:     p,
+			d:     t.tbl.Diner(p),
+			queue: make(chan *session, queueCap),
+			grant: make(chan struct{}, 1),
+			idle:  make(chan struct{}, 1),
+		}
+		// Registered before Start: both callbacks run on p's goroutine. The
+		// eating flag lets the manager distinguish a real grant from a stale
+		// pulse left behind by a chaos crash/restart.
+		m.d.OnChange(func(st dining.State) {
+			m.eating.Store(st == dining.Eating)
+			switch st {
+			case dining.Eating:
+				pulse(m.grant)
+			case dining.Thinking:
+				pulse(m.idle)
+			}
+		})
+		t.mgrs = append(t.mgrs, m)
+	}
+	return t, nil
+}
+
+// logPrefix tags per-table log lines in a sharded service; a single-table
+// service keeps the historical untagged lines.
+func (t *Table) logPrefix() string {
+	if t.svc.cfg.Tables <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("table %d: ", t.idx)
+}
+
+// errPrefix is logPrefix for error text.
+func (t *Table) errPrefix() string { return t.logPrefix() }
+
+// resume re-enqueues the sessions a crash left in flight, in their original
+// acquire order. Granted ones carry the regrant flag: they already own the
+// critical section in the registry, so their manager re-wins the dining
+// layer's grant without a second registry transition (and without a second
+// grant journal record). Must run before the listener accepts traffic, so a
+// reconnecting client always finds its session already queued.
+func (t *Table) resume(live []lockproto.RecoveredSession) int {
+	granted := 0
+	for _, rs := range live {
+		d := rs.Key.Diner
+		if d < 0 || d >= t.svc.cfg.N || t.svc.tableOf[d] != t.idx {
+			// The ledger was written under a different diner count or table
+			// assignment than this boot; shed the foreign session rather
+			// than wedge (or mis-route) the boot.
+			t.svc.logf("%sdropping recovered session for diner %d: not hosted by this table", t.logPrefix(), d)
+			t.dropSession(rs.Key)
+			t.sessions.Abort(rs.Key)
+			continue
+		}
+		ses := newSession(rs.Key)
+		ses.regrant = rs.Granted
+		if rs.Granted {
+			granted++
+		}
+		t.byKey.put(rs.Key, ses)
+		t.inFlight.Add(1)
+		select {
+		case t.mgrFor(d).queue <- ses:
+		default:
+			// A queue this full can only come from a corrupt ledger; shed
+			// the session rather than wedge the boot.
+			t.inFlight.Add(-1)
+			t.dropSession(rs.Key)
+			t.sessions.Abort(rs.Key)
+		}
+	}
+	return granted
+}
+
+// janitor periodically expires detached sessions whose lease ran out. A
+// granted one gets its critical section forcibly released — the dining
+// service stays wait-free even when clients die silently.
+func (t *Table) janitor() {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-t.svc.stop:
+			return
+		}
+		now := t.now()
+		t.dur.tick(now)
+		for _, e := range t.sessions.Expire(now) {
+			t.m.expired.Inc()
+			if ses := t.byKey.get(e.Key); ses != nil && e.WasGranted {
+				ses.finishRelease()
+			}
+		}
+	}
+}

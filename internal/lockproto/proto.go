@@ -51,9 +51,31 @@ type Event struct {
 	Peer    int  `json:"peer,omitempty"`
 	Suspect bool `json:"suspect,omitempty"`
 
-	// Info fields.
+	// Info fields: total diner count, and how many independent dining
+	// tables the process shards them over (0 is read as 1 by old servers'
+	// omission — single-table).
 	Diners int `json:"diners,omitempty"`
+	Tables int `json:"tables,omitempty"`
 
 	T   int64  `json:"t,omitempty"` // server clock, in ticks
 	Msg string `json:"msg,omitempty"`
+}
+
+// TableOf maps a global diner id onto one of tables independent dining
+// tables. It is the routing function shared by the server-side key router
+// (internal/dinesvc) and by clients that want to attribute their sessions to
+// shards (cmd/dineload), so it must be stable across processes and releases:
+// a splitmix64 finalizer over the diner id, reduced mod tables. Changing it
+// invalidates every sharded data directory's diner→table assignment.
+func TableOf(diner, tables int) int {
+	if tables <= 1 {
+		return 0
+	}
+	x := uint64(int64(diner)) + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(tables))
 }

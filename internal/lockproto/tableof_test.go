@@ -1,0 +1,44 @@
+package lockproto
+
+import "testing"
+
+// TestTableOfStable pins the diner→table assignment: it is part of the
+// on-disk contract (a sharded data directory's WALs are only replayable
+// under the assignment they were written with), so these exact values must
+// never change.
+func TestTableOfStable(t *testing.T) {
+	want4 := []int{3, 1, 2, 1, 2, 2, 0, 3, 2, 0, 2, 1, 3, 3, 2, 1}
+	for d, w := range want4 {
+		if got := TableOf(d, 4); got != w {
+			t.Fatalf("TableOf(%d, 4) = %d, want %d (assignment drifted — this breaks existing sharded data dirs)", d, got, w)
+		}
+	}
+}
+
+// TestTableOfRange: every diner lands on a valid table, tables<=1 always
+// maps to 0, and the assignment covers all tables for a modest diner count
+// (no table of a 16-diner / 4-table service sits empty).
+func TestTableOfRange(t *testing.T) {
+	for d := -3; d < 64; d++ {
+		if got := TableOf(d, 1); got != 0 {
+			t.Fatalf("TableOf(%d, 1) = %d, want 0", d, got)
+		}
+		if got := TableOf(d, 0); got != 0 {
+			t.Fatalf("TableOf(%d, 0) = %d, want 0", d, got)
+		}
+		for _, tables := range []int{2, 3, 4, 7, 16} {
+			if got := TableOf(d, tables); got < 0 || got >= tables {
+				t.Fatalf("TableOf(%d, %d) = %d out of range", d, tables, got)
+			}
+		}
+	}
+	seen := make(map[int]int)
+	for d := 0; d < 16; d++ {
+		seen[TableOf(d, 4)]++
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("table %d hosts no diner of 16 over 4 tables: %v", i, seen)
+		}
+	}
+}

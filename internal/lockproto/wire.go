@@ -77,6 +77,10 @@ func AppendEvent(dst []byte, e *Event) []byte {
 		dst = append(dst, `,"diners":`...)
 		dst = strconv.AppendInt(dst, int64(e.Diners), 10)
 	}
+	if e.Tables != 0 {
+		dst = append(dst, `,"tables":`...)
+		dst = strconv.AppendInt(dst, int64(e.Tables), 10)
+	}
 	if e.T != 0 {
 		dst = append(dst, `,"t":`...)
 		dst = strconv.AppendInt(dst, e.T, 10)
@@ -407,6 +411,8 @@ func decodeEventFast(data []byte, ev *Event) error {
 			return fastBoolValue(data, i, &ev.Suspect)
 		case "diners":
 			return fastIntValue(data, i, &ev.Diners)
+		case "tables":
+			return fastIntValue(data, i, &ev.Tables)
 		case "t":
 			return fastInt64Value(data, i, &ev.T)
 		case "msg":

@@ -84,6 +84,7 @@ func TestWireEncodeMatchesStdlib(t *testing.T) {
 	checkEventCodec(t, Event{Ev: EvGranted, Diner: 2, ID: "s", T: 12345})
 	checkEventCodec(t, Event{Ev: EvSuspect, Of: 1, Peer: 3, Suspect: true, T: -9})
 	checkEventCodec(t, Event{Ev: EvInfo, Diners: 5, T: 77})
+	checkEventCodec(t, Event{Ev: EvInfo, Diners: 16, Tables: 4, T: 9})
 	checkEventCodec(t, Event{Ev: EvError, Diner: 1, ID: "k", Msg: "overloaded"})
 }
 

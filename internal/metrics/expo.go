@@ -18,23 +18,34 @@ import (
 // +Inf, _sum and _count, with bucket bounds and sum scaled into the
 // registered unit.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastBase := ""
 	for _, e := range r.sorted() {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
-			return err
+		// Labeled series sharing one base name (e.g. per-table instruments
+		// registered via WithLabels) sort adjacently and share one
+		// HELP/TYPE header, as the exposition format requires.
+		if e.base != lastBase {
+			lastBase = e.base
+			kind := "counter"
+			switch e.kind {
+			case KindGauge:
+				kind = "gauge"
+			case KindHist:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.base, e.help, e.base, kind); err != nil {
+				return err
+			}
 		}
 		switch e.kind {
 		case KindCounter:
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value()); err != nil {
 				return err
 			}
 		case KindGauge:
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gaugeValue()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.gaugeValue()); err != nil {
 				return err
 			}
 		case KindHist:
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
-				return err
-			}
 			if err := writePromHist(w, e); err != nil {
 				return err
 			}
@@ -49,6 +60,14 @@ func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 func writePromHist(w io.Writer, e *entry) error {
 	h := e.hist
+	// A labeled histogram's sub-series carry the instrument labels merged
+	// with le: base_bucket{table="0",le="1e-06"}; _sum and _count keep the
+	// instrument labels alone.
+	lblPrefix, suffix := "", ""
+	if e.labels != "" {
+		lblPrefix = e.labels + ","
+		suffix = "{" + e.labels + "}"
+	}
 	var cum int64
 	for i := 0; i < NumBuckets; i++ {
 		c := h.counts[i].Load()
@@ -57,7 +76,7 @@ func writePromHist(w io.Writer, e *entry) error {
 		}
 		cum += c
 		le := float64(BucketUpper(i)) * e.scale
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, fmtFloat(le), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", e.base, lblPrefix, fmtFloat(le), cum); err != nil {
 			return err
 		}
 	}
@@ -68,8 +87,8 @@ func writePromHist(w io.Writer, e *entry) error {
 	if count < cum {
 		count = cum
 	}
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		e.name, count, e.name, fmtFloat(float64(h.Sum())*e.scale), e.name, count)
+	_, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n%s_sum%s %s\n%s_count%s %d\n",
+		e.base, lblPrefix, count, e.base, suffix, fmtFloat(float64(h.Sum())*e.scale), e.base, suffix, count)
 	return err
 }
 

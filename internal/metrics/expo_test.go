@@ -49,6 +49,67 @@ demo_sampled 5
 	}
 }
 
+// TestPrometheusLabeledGolden pins the labeled-series exposition: instruments
+// registered via WithLabels under one base name share a single HELP/TYPE
+// header, counters and gauges print their full labeled name, and a labeled
+// histogram merges the instrument labels with le on every _bucket line while
+// _sum/_count carry the labels alone. This is the format the sharded service
+// exposes its per-table instrument sets in.
+func TestPrometheusLabeledGolden(t *testing.T) {
+	r := New()
+	r.Counter(WithLabels("demo_grants_total", "table", "1"), "sessions granted").Add(5)
+	r.Counter(WithLabels("demo_grants_total", "table", "0"), "sessions granted").Add(3)
+	h := r.Histogram(WithLabels("demo_lat_seconds", "table", "0"), "grant latency", 1e-6)
+	h.Observe(1)
+	h.Observe(100)
+	r.Gauge("demo_plain", "unlabeled neighbour").Set(2)
+
+	const want = `# HELP demo_grants_total sessions granted
+# TYPE demo_grants_total counter
+demo_grants_total{table="0"} 3
+demo_grants_total{table="1"} 5
+# HELP demo_lat_seconds grant latency
+# TYPE demo_lat_seconds histogram
+demo_lat_seconds_bucket{table="0",le="1e-06"} 1
+demo_lat_seconds_bucket{table="0",le="0.000112"} 2
+demo_lat_seconds_bucket{table="0",le="+Inf"} 2
+demo_lat_seconds_sum{table="0"} 0.000101
+demo_lat_seconds_count{table="0"} 2
+# HELP demo_plain unlabeled neighbour
+# TYPE demo_plain gauge
+demo_plain 2
+`
+	var got strings.Builder
+	if err := r.WritePrometheus(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want {
+		t.Fatalf("labeled exposition drifted:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+}
+
+// TestWithLabels covers the name builder edge cases: no pairs, multiple
+// pairs, value escaping, and the splitLabels inverse.
+func TestWithLabels(t *testing.T) {
+	if got := WithLabels("x_total"); got != "x_total" {
+		t.Fatalf("no pairs: %q", got)
+	}
+	got := WithLabels("x_total", "table", "3", "role", "leader")
+	if got != `x_total{table="3",role="leader"}` {
+		t.Fatalf("two pairs: %q", got)
+	}
+	if b, l := splitLabels(got); b != "x_total" || l != `table="3",role="leader"` {
+		t.Fatalf("splitLabels(%q) = %q, %q", got, b, l)
+	}
+	esc := WithLabels("x", "k", "a\"b\\c\nd")
+	if esc != `x{k="a\"b\\c\nd"}` {
+		t.Fatalf("escaping: %q", esc)
+	}
+	if b, l := splitLabels("plain"); b != "plain" || l != "" {
+		t.Fatalf("splitLabels(plain) = %q, %q", b, l)
+	}
+}
+
 // TestSnapshotJSONRoundTrip: the JSON view must decode back into the shared
 // Snapshot type with values intact — the contract dineload's scrape relies
 // on.

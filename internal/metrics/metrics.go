@@ -26,6 +26,7 @@ package metrics
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -127,15 +128,62 @@ const (
 
 // entry is one registered instrument.
 type entry struct {
-	name  string
-	help  string
-	kind  Kind
-	scale float64 // exposition multiplier (histograms: raw value → unit)
+	name   string // full series name, labels included: base{k="v",...}
+	base   string // metric family name (name up to the label braces)
+	labels string // rendered label pairs without braces; "" if unlabeled
+	help   string
+	kind   Kind
+	scale  float64 // exposition multiplier (histograms: raw value → unit)
 
 	counter *Counter
 	gauge   *Gauge
 	gaugeFn func() int64
 	hist    *Hist
+}
+
+// WithLabels renders a series name with label pairs appended in Prometheus
+// text form: WithLabels("x_total", "table", "3") → `x_total{table="3"}`.
+// Registering several series that share a base name but differ in labels
+// gives each its own instrument handle while exposition groups them under
+// one HELP/TYPE header — the registration-time label support the sharded
+// service uses for its per-table instrument sets. kv must alternate
+// key, value; label values are escaped per the exposition format.
+func WithLabels(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: WithLabels needs alternating key, value pairs")
+	}
+	b := []byte(name)
+	b = append(b, '{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, kv[i]...)
+		b = append(b, '=', '"')
+		for _, c := range []byte(kv[i+1]) {
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			default:
+				b = append(b, c)
+			}
+		}
+		b = append(b, '"')
+	}
+	return string(append(b, '}'))
+}
+
+// splitLabels breaks a full series name into its base and rendered labels.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && len(name) > i+1 && name[len(name)-1] == '}' {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
 }
 
 // Registry holds named instruments. Registration takes a lock and a map
@@ -166,6 +214,7 @@ func (r *Registry) register(name, help string, kind Kind) (*entry, bool) {
 		return e, false
 	}
 	e := &entry{name: name, help: help, kind: kind, scale: 1}
+	e.base, e.labels = splitLabels(name)
 	r.byName[name] = e
 	r.entries = append(r.entries, e)
 	return e, true

@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the multi-table directory layout: a process that shards its
+// service over N independent dining tables gives each table its own WAL
+// generation directory under one parent data dir —
+//
+//	<data-dir>/table-0/   wal-*.log, snap-*.snap
+//	<data-dir>/table-1/   ...
+//
+// so every table's log is recovered, rotated, snapshotted, and audited in
+// isolation, by exactly the single-directory code above. A single-table
+// service keeps the flat layout (segments directly under <data-dir>), which
+// is what every pre-sharding data directory already looks like; the two
+// layouts are mutually exclusive and DetectLayout refuses a directory that
+// mixes them, so a -tables flag that disagrees with the on-disk history
+// fails the boot instead of silently splitting it.
+
+// tableDirPrefix names the per-table subdirectories.
+const tableDirPrefix = "table-"
+
+// TableDir returns the WAL directory of table i under parent.
+func TableDir(parent string, i int) string {
+	return filepath.Join(parent, tableDirPrefix+strconv.Itoa(i))
+}
+
+// TableDirs lists the table-<i> subdirectories of parent, sorted by table
+// index. A missing parent or a parent with no table subdirectories returns
+// nil (the flat single-table layout).
+func TableDirs(parent string) ([]string, error) {
+	entries, err := os.ReadDir(parent)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		n, ok := parseTableDir(e.Name())
+		if !ok {
+			continue
+		}
+		idx = append(idx, n)
+	}
+	sort.Ints(idx)
+	var dirs []string
+	for _, n := range idx {
+		dirs = append(dirs, TableDir(parent, n))
+	}
+	return dirs, nil
+}
+
+// parseTableDir extracts the index from a table-<i> directory name.
+func parseTableDir(name string) (int, bool) {
+	if !strings.HasPrefix(name, tableDirPrefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[len(tableDirPrefix):])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// DetectLayout inspects parent and reports how many tables its on-disk
+// state was written with: 1 for the flat layout, k for a
+// table-0..table-(k-1) sharded layout, and 0 for a fresh or missing
+// directory with no history at all (any table count may claim it). It
+// errors on a directory that mixes flat WAL files with table
+// subdirectories, or whose table indices are not contiguous from zero —
+// both can only come from running mismatched -tables values over one data
+// dir, and recovering either would silently drop part of the history.
+func DetectLayout(parent string) (int, error) {
+	entries, err := os.ReadDir(parent)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	flat := false
+	tables := make(map[int]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			if n, ok := parseTableDir(e.Name()); ok {
+				tables[n] = true
+			}
+			continue
+		}
+		if _, _, ok := parseGen(e.Name()); ok {
+			flat = true
+		}
+	}
+	if len(tables) == 0 {
+		if flat {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if flat {
+		return 0, fmt.Errorf("wal: %s mixes flat WAL segments with table-<i> subdirectories", parent)
+	}
+	for i := 0; i < len(tables); i++ {
+		if !tables[i] {
+			return 0, fmt.Errorf("wal: %s has %d table directories but table-%d is missing", parent, len(tables), i)
+		}
+	}
+	return len(tables), nil
+}

@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTableDirLayout(t *testing.T) {
+	parent := t.TempDir()
+	if dirs, err := TableDirs(parent); err != nil || dirs != nil {
+		t.Fatalf("empty parent: dirs=%v err=%v", dirs, err)
+	}
+	if n, err := DetectLayout(parent); err != nil || n != 0 {
+		t.Fatalf("empty parent layout: n=%d err=%v", n, err)
+	}
+	if n, err := DetectLayout(filepath.Join(parent, "missing")); err != nil || n != 0 {
+		t.Fatalf("missing parent layout: n=%d err=%v", n, err)
+	}
+
+	flat := t.TempDir()
+	os.WriteFile(filepath.Join(flat, walName(1)), []byte{}, 0o644)
+	if n, err := DetectLayout(flat); err != nil || n != 1 {
+		t.Fatalf("flat layout: n=%d err=%v", n, err)
+	}
+
+	// Two tables, created out of order, plus an unrelated dir and file.
+	for _, i := range []int{1, 0} {
+		if err := os.MkdirAll(TableDir(parent, i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	os.MkdirAll(filepath.Join(parent, "not-a-table"), 0o755)
+	os.WriteFile(filepath.Join(parent, "notes.txt"), []byte("x"), 0o644)
+
+	dirs, err := TableDirs(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{TableDir(parent, 0), TableDir(parent, 1)}
+	if len(dirs) != 2 || dirs[0] != want[0] || dirs[1] != want[1] {
+		t.Fatalf("TableDirs = %v, want %v", dirs, want)
+	}
+	if n, err := DetectLayout(parent); err != nil || n != 2 {
+		t.Fatalf("sharded layout: n=%d err=%v", n, err)
+	}
+}
+
+func TestDetectLayoutRejectsMixedAndGapped(t *testing.T) {
+	mixed := t.TempDir()
+	os.MkdirAll(TableDir(mixed, 0), 0o755)
+	os.WriteFile(filepath.Join(mixed, walName(1)), []byte{}, 0o644)
+	if _, err := DetectLayout(mixed); err == nil {
+		t.Fatal("mixed flat+sharded layout accepted")
+	}
+
+	gapped := t.TempDir()
+	os.MkdirAll(TableDir(gapped, 0), 0o755)
+	os.MkdirAll(TableDir(gapped, 2), 0o755)
+	if _, err := DetectLayout(gapped); err == nil {
+		t.Fatal("gapped table indices accepted")
+	}
+}

@@ -27,9 +27,9 @@ echo "bench-serve: micro-benchmarks (codec, flush writer, sessions)"
 go test -run '^$' -bench 'BenchmarkWire|BenchmarkFlushWriter|BenchmarkSessions' \
     -benchmem ./internal/lockproto >"$LOG/micro.txt" || fail "lockproto benchmarks failed"
 
-echo "bench-serve: in-process service benchmarks (grant, churn)"
+echo "bench-serve: in-process service benchmarks (grant, sharded grant, churn)"
 go test -run '^$' -bench 'BenchmarkServeGrant|BenchmarkServeChurn' \
-    -benchmem ./cmd/dineserve >"$LOG/inproc.txt" || fail "dineserve benchmarks failed"
+    -benchmem ./internal/dinesvc >"$LOG/inproc.txt" || fail "dinesvc benchmarks failed"
 
 echo "bench-serve: end-to-end load ($CLIENTS clients for $DURATION)"
 "$BIN/dineserve" -addr 127.0.0.1:0 >"$LOG/serve.log" 2>&1 &

@@ -19,6 +19,12 @@
 #      server reports the dropped byte count), serve normally, and leave a
 #      verifiable directory behind.
 #
+#   4. The sharded service (-n 16 -tables 4), kill -9'd mid-load: each table
+#      journals to its own <data-dir>/table-<i>/ ledger, the restart must
+#      recover all four independently before accepting traffic, the drain
+#      must produce four clean ◇WX verdicts, and `walinspect -verify` must
+#      audit every shard's ledger.
+#
 # Used by `make serve-crash` and CI. CLIENTS/DURATION are overridable.
 set -u
 
@@ -154,5 +160,70 @@ grep -q "exclusion check OK" "$LOG/serve3.log" \
     || fail "no exclusion verdict after torn-tail recovery"
 
 "$BIN/walinspect" -verify "$DATA" || fail "walinspect rejected the post-tear ledger"
+
+# --- leg 4: kill -9 the sharded server mid-load ------------------------------
+
+echo "serve-crash: leg 4 — sharded dineserve (16 diners, 4 tables), kill -9 mid-load"
+DATA4="$LOG/data4"
+"$BIN/dineserve" -n 16 -tables 4 -addr 127.0.0.1:0 -lease 5s \
+    -data-dir "$DATA4" -fsync always -snap-records 1000 \
+    >"$LOG/serve4.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR4=$(wait_addr "$LOG/serve4.log")
+[ -n "$ADDR4" ] || fail "sharded dineserve never started listening" "$LOG/serve4.log"
+grep -q "16 diners over 4 tables" "$LOG/serve4.log" \
+    || fail "sharded server did not announce its table count" "$LOG/serve4.log"
+echo "serve-crash: sharded dineserve up on $ADDR4, $CLIENTS clients for $DURATION"
+
+"$BIN/dineload" -addr "$ADDR4" -clients "$CLIENTS" -duration "$DURATION" \
+    -hold 50ms -watch=false -op-timeout 500ms >"$LOG/load4.log" 2>&1 &
+LOAD_PID=$!
+
+sleep 3
+echo "serve-crash: kill -9 $SERVE_PID"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+sleep 1
+
+"$BIN/dineserve" -n 16 -tables 4 -addr "$ADDR4" -lease 5s \
+    -data-dir "$DATA4" -fsync always -snap-records 1000 \
+    >"$LOG/serve5.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR5=$(wait_addr "$LOG/serve5.log")
+[ -n "$ADDR5" ] || fail "restarted sharded dineserve never came back on $ADDR4" "$LOG/serve5.log"
+# Every shard recovers its own ledger before the listener opens.
+RECOVERED=$(grep -c "table [0-3]: recovered" "$LOG/serve5.log")
+[ "$RECOVERED" -eq 4 ] \
+    || fail "expected 4 per-table recovery lines, got $RECOVERED" "$LOG/serve5.log"
+
+wait "$LOAD_PID"
+LOAD_EXIT=$?
+cat "$LOG/load4.log"
+if [ "$LOAD_EXIT" -ne 0 ]; then
+    fail "dineload exited $LOAD_EXIT across the sharded crash" "$LOG/serve5.log"
+fi
+grep -q "double-grants: 0" "$LOG/load4.log" \
+    || fail "clients observed a double grant on the sharded server" "$LOG/load4.log"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_EXIT=$?
+cat "$LOG/serve5.log"
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    fail "restarted sharded dineserve exited $SERVE_EXIT (exclusion check or drain failed)"
+fi
+VERDICTS=$(grep -c "exclusion check OK" "$LOG/serve5.log")
+[ "$VERDICTS" -eq 4 ] \
+    || fail "expected 4 per-table exclusion verdicts, got $VERDICTS" "$LOG/serve5.log"
+
+# The audit walks all four table-<i>/ ledgers; any dirty shard fails it.
+"$BIN/walinspect" -verify "$DATA4" >"$LOG/inspect4.log" \
+    || { cat "$LOG/inspect4.log"; fail "walinspect rejected a post-crash shard ledger"; }
+grep -q "4 tables" "$LOG/inspect4.log" \
+    || fail "walinspect did not audit the sharded layout" "$LOG/inspect4.log"
 
 echo "serve-crash: OK"

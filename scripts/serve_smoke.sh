@@ -4,9 +4,13 @@
 # load run saw no errors, (b) a mid-load /metrics scrape exposes the key
 # series and shows the counters moving, (c) the session accounting conserves
 # (granted + regranted == released + held) once the load stops, and (d) the
-# server's ◇WX exclusion checker came back clean over the whole run. Used by
-# `make serve-smoke` and CI; set METRICS_OUT to keep the final JSON snapshot
-# (CI uploads it as an artifact).
+# server's ◇WX exclusion checker came back clean over the whole run.
+#
+# A second leg repeats the burst against a sharded server (-n 16 -tables 4):
+# the /metrics series carry {table="i"} labels there, so the conservation
+# sum runs across all four tables' series, and the drain must produce one
+# clean exclusion verdict per table. Used by `make serve-smoke` and CI; set
+# METRICS_OUT to keep the final JSON snapshot (CI uploads it as an artifact).
 set -u
 
 CLIENTS="${CLIENTS:-64}"
@@ -125,6 +129,105 @@ if [ "$SERVE_EXIT" -ne 0 ]; then
 fi
 if ! grep -q "exclusion check OK" "$LOG/serve.log"; then
     echo "serve-smoke: FAIL — no exclusion verdict in the server log" >&2
+    exit 1
+fi
+echo "serve-smoke: single-table leg OK"
+
+# --- sharded leg: 16 diners over 4 tables ------------------------------------
+
+echo "serve-smoke: sharded leg — 16 diners over 4 tables"
+"$BIN/dineserve" -n 16 -tables 4 -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+    >"$LOG/serve4.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$LOG"' EXIT
+
+ADDR=""
+METRICS_URL=""
+for _ in $(seq 100); do
+    ADDR=$(sed -n 's/^dineserve: listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG/serve4.log" 2>/dev/null | head -1)
+    METRICS_URL=$(sed -n 's#^dineserve: metrics on \(http://[0-9.:]*\)/metrics$#\1#p' "$LOG/serve4.log" 2>/dev/null | head -1)
+    [ -n "$ADDR" ] && [ -n "$METRICS_URL" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ] || [ -z "$METRICS_URL" ]; then
+    echo "serve-smoke: sharded dineserve never started listening" >&2
+    cat "$LOG/serve4.log" >&2
+    exit 1
+fi
+grep -q "16 diners over 4 tables" "$LOG/serve4.log" || {
+    echo "serve-smoke: FAIL — sharded server did not announce its table count" >&2
+    cat "$LOG/serve4.log" >&2
+    exit 1
+}
+echo "serve-smoke: sharded dineserve up on $ADDR (metrics $METRICS_URL)"
+
+"$BIN/dineload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" -scrape "$METRICS_URL" &
+LOAD_PID=$!
+
+# Mid-load scrape: the per-table series must exist for every table. The
+# routing hash spreads 16 diners over all 4 tables, so each table's grant
+# counter must be present (and the service-wide sum moving).
+sleep 2
+if ! fetch "$METRICS_URL/metrics" "$LOG/metrics_mid4.txt"; then
+    echo "serve-smoke: FAIL — sharded mid-load /metrics scrape failed" >&2
+    kill "$LOAD_PID" 2>/dev/null
+    exit 1
+fi
+for i in 0 1 2 3; do
+    if ! grep -q "^dineserve_sessions_granted_total{table=\"$i\"} " "$LOG/metrics_mid4.txt"; then
+        echo "serve-smoke: FAIL — series dineserve_sessions_granted_total{table=\"$i\"} missing" >&2
+        kill "$LOAD_PID" 2>/dev/null
+        exit 1
+    fi
+done
+MID_GRANTED=$(awk '$1 ~ /^dineserve_sessions_granted_total([{]|$)/ {s+=$2} END{print s+0}' "$LOG/metrics_mid4.txt")
+if [ "${MID_GRANTED:-0}" -le 0 ]; then
+    echo "serve-smoke: FAIL — no grants visible mid-load on the sharded server" >&2
+    kill "$LOAD_PID" 2>/dev/null
+    exit 1
+fi
+echo "serve-smoke: sharded mid-load scrape OK ($MID_GRANTED grants across 4 tables)"
+
+wait "$LOAD_PID"
+LOAD_EXIT=$?
+
+# Conservation across the shard: the same invariant as the flat leg, with
+# each quantity summed over its four labeled series.
+CONSERVED=0
+for _ in 1 2 3; do
+    sleep 0.5
+    fetch "$METRICS_URL/metrics" "$LOG/metrics_final4.txt" || continue
+    GRANTED=$(awk '$1 ~ /^dineserve_sessions_granted_total([{]|$)/ {s+=$2} END{print s+0}' "$LOG/metrics_final4.txt")
+    REGRANTED=$(awk '$1 ~ /^dineserve_sessions_regranted_total([{]|$)/ {s+=$2} END{print s+0}' "$LOG/metrics_final4.txt")
+    RELEASED=$(awk '$1 ~ /^dineserve_sessions_released_total([{]|$)/ {s+=$2} END{print s+0}' "$LOG/metrics_final4.txt")
+    HELD=$(awk '$1 ~ /^dineserve_sessions_held([{]|$)/ {s+=$2} END{print s+0}' "$LOG/metrics_final4.txt")
+    if [ "$((GRANTED + REGRANTED))" -eq "$((RELEASED + HELD))" ]; then
+        CONSERVED=1
+        break
+    fi
+done
+if [ "$CONSERVED" -ne 1 ]; then
+    echo "serve-smoke: FAIL — sharded session accounting does not conserve: granted=$GRANTED regranted=$REGRANTED released=$RELEASED held=$HELD" >&2
+    exit 1
+fi
+echo "serve-smoke: sharded conservation OK (granted=$GRANTED regranted=$REGRANTED released=$RELEASED held=$HELD)"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_EXIT=$?
+cat "$LOG/serve4.log"
+
+if [ "$LOAD_EXIT" -ne 0 ]; then
+    echo "serve-smoke: FAIL — sharded dineload exited $LOAD_EXIT" >&2
+    exit 1
+fi
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    echo "serve-smoke: FAIL — sharded dineserve exited $SERVE_EXIT" >&2
+    exit 1
+fi
+VERDICTS=$(grep -c "exclusion check OK" "$LOG/serve4.log")
+if [ "$VERDICTS" -ne 4 ]; then
+    echo "serve-smoke: FAIL — expected 4 per-table exclusion verdicts, got $VERDICTS" >&2
     exit 1
 fi
 echo "serve-smoke: OK"
